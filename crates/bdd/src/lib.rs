@@ -1,0 +1,40 @@
+//! # veridic-bdd
+//!
+//! A from-scratch Reduced Ordered Binary Decision Diagram package, the
+//! foundation of veridic's unbounded model checking engines — including the
+//! partitioned-OBDD (POBDD) reachability that reproduces the paper's
+//! in-house engine \[Jain, IWLS 2004\].
+//!
+//! Design points:
+//!
+//! * **Hash-consed node table** with a unique table and ITE/quantification
+//!   computed caches.
+//! * **Deterministic resource quota**: every operation returns
+//!   `Result<_, OutOfNodes>` and fails once the node budget is exhausted.
+//!   The model checkers convert this into a reproducible "time-out", which
+//!   is what drives the paper's Figure 7 divide-and-conquer flow.
+//! * **Relational product** (`and_exists`) as a first-class fused
+//!   operation, plus order-preserving variable renaming for the
+//!   current/next-state interleaving used by image computation.
+//!
+//! ```
+//! use veridic_bdd::BddManager;
+//!
+//! let mut m = BddManager::new(1 << 20);
+//! let a = m.var(0)?;
+//! let b = m.var(1)?;
+//! let f = m.and(a, b)?;
+//! let g = m.or(a, b)?;
+//! assert!(m.implies_check(f, g)?);
+//! # Ok::<(), veridic_bdd::OutOfNodes>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod manager;
+mod ops;
+mod reorder;
+
+pub use manager::{BddManager, NodeId, OutOfNodes};
+pub use reorder::{best_window_order, rebuild_with_order};

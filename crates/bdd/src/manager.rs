@@ -1,0 +1,294 @@
+//! The BDD node table and basic constructors.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Identifier of a BDD node within a [`BddManager`].
+///
+/// `NodeId::FALSE` and `NodeId::TRUE` are the two terminals.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The false terminal.
+    pub const FALSE: NodeId = NodeId(0);
+    /// The true terminal.
+    pub const TRUE: NodeId = NodeId(1);
+
+    /// True if this node is a terminal.
+    pub fn is_terminal(self) -> bool {
+        self.0 < 2
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            NodeId::FALSE => write!(f, "F"),
+            NodeId::TRUE => write!(f, "T"),
+            NodeId(n) => write!(f, "#{n}"),
+        }
+    }
+}
+
+/// The node budget was exhausted.
+///
+/// This is the deterministic stand-in for a model-checker time-out: the
+/// same input always overflows at the same point, making the paper's
+/// "property too big, partition it" flow (Fig. 7) reproducible in tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutOfNodes {
+    /// The configured quota that was hit.
+    pub quota: usize,
+}
+
+impl fmt::Display for OutOfNodes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BDD node quota exhausted ({} nodes)", self.quota)
+    }
+}
+
+impl Error for OutOfNodes {}
+
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Node {
+    pub var: u32,
+    pub lo: NodeId,
+    pub hi: NodeId,
+}
+
+const TERMINAL_VAR: u32 = u32::MAX;
+
+/// A Reduced Ordered BDD manager: owns the node table, unique table and
+/// computed caches. Variables are identified by `u32` levels; smaller
+/// levels are nearer the root (tested first).
+///
+/// All operations that may allocate return `Result<NodeId, OutOfNodes>`.
+#[derive(Clone, Debug)]
+pub struct BddManager {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) unique: HashMap<(u32, NodeId, NodeId), NodeId>,
+    pub(crate) ite_cache: HashMap<(NodeId, NodeId, NodeId), NodeId>,
+    pub(crate) exists_cache: HashMap<(NodeId, NodeId), NodeId>,
+    pub(crate) and_exists_cache: HashMap<(NodeId, NodeId, NodeId), NodeId>,
+    pub(crate) rename_cache: HashMap<(NodeId, u64), NodeId>,
+    max_nodes: usize,
+}
+
+impl BddManager {
+    /// Creates a manager with the given node quota.
+    pub fn new(max_nodes: usize) -> Self {
+        BddManager {
+            nodes: vec![
+                Node { var: TERMINAL_VAR, lo: NodeId::FALSE, hi: NodeId::FALSE },
+                Node { var: TERMINAL_VAR, lo: NodeId::TRUE, hi: NodeId::TRUE },
+            ],
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            exists_cache: HashMap::new(),
+            and_exists_cache: HashMap::new(),
+            rename_cache: HashMap::new(),
+            max_nodes,
+        }
+    }
+
+    /// Number of live nodes (including terminals).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The configured node quota.
+    pub fn quota(&self) -> usize {
+        self.max_nodes
+    }
+
+    /// The variable level of a node (`u32::MAX` for terminals).
+    pub fn node_var(&self, n: NodeId) -> u32 {
+        self.nodes[n.0 as usize].var
+    }
+
+    pub(crate) fn lo(&self, n: NodeId) -> NodeId {
+        self.nodes[n.0 as usize].lo
+    }
+
+    pub(crate) fn hi(&self, n: NodeId) -> NodeId {
+        self.nodes[n.0 as usize].hi
+    }
+
+    pub(crate) fn var_of(&self, n: NodeId) -> u32 {
+        self.nodes[n.0 as usize].var
+    }
+
+    /// The reduced node `(var, lo, hi)`; applies the redundancy rule and
+    /// the unique table.
+    pub(crate) fn mk(&mut self, var: u32, lo: NodeId, hi: NodeId) -> Result<NodeId, OutOfNodes> {
+        if lo == hi {
+            return Ok(lo);
+        }
+        debug_assert!(var < self.var_of(lo) && var < self.var_of(hi), "order violation in mk");
+        if let Some(&n) = self.unique.get(&(var, lo, hi)) {
+            return Ok(n);
+        }
+        if self.nodes.len() >= self.max_nodes {
+            return Err(OutOfNodes { quota: self.max_nodes });
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { var, lo, hi });
+        self.unique.insert((var, lo, hi), id);
+        Ok(id)
+    }
+
+    /// The BDD for a single positive variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfNodes`] if the quota is exhausted.
+    pub fn var(&mut self, v: u32) -> Result<NodeId, OutOfNodes> {
+        self.mk(v, NodeId::FALSE, NodeId::TRUE)
+    }
+
+    /// The BDD for a negated variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfNodes`] if the quota is exhausted.
+    pub fn nvar(&mut self, v: u32) -> Result<NodeId, OutOfNodes> {
+        self.mk(v, NodeId::TRUE, NodeId::FALSE)
+    }
+
+    /// Constant BDD from a boolean.
+    pub fn constant(&self, b: bool) -> NodeId {
+        if b {
+            NodeId::TRUE
+        } else {
+            NodeId::FALSE
+        }
+    }
+
+    /// Counts the nodes reachable from `f` (its size).
+    pub fn size(&self, f: NodeId) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        while let Some(n) = stack.pop() {
+            if n.is_terminal() || !seen.insert(n) {
+                continue;
+            }
+            stack.push(self.lo(n));
+            stack.push(self.hi(n));
+        }
+        seen.len() + 2
+    }
+
+    /// Evaluates `f` under a full assignment (`assign(var)` = value).
+    pub fn eval(&self, f: NodeId, assign: &dyn Fn(u32) -> bool) -> bool {
+        let mut n = f;
+        while !n.is_terminal() {
+            let v = self.var_of(n);
+            n = if assign(v) { self.hi(n) } else { self.lo(n) };
+        }
+        n == NodeId::TRUE
+    }
+
+    /// Clears the computed caches (keeps the node table). Useful between
+    /// phases with different operand distributions.
+    pub fn clear_caches(&mut self) {
+        self.ite_cache.clear();
+        self.exists_cache.clear();
+        self.and_exists_cache.clear();
+        self.rename_cache.clear();
+    }
+
+    /// Number of satisfying assignments of `f` over `nvars` variables
+    /// (variables `0..nvars`), as `f64` (exact for small counts).
+    pub fn count_sat(&self, f: NodeId, nvars: u32) -> f64 {
+        let mut memo: HashMap<NodeId, f64> = HashMap::new();
+        // count(n) = number of solutions below n, over vars var(n)..nvars
+        fn go(
+            m: &BddManager,
+            n: NodeId,
+            nvars: u32,
+            memo: &mut HashMap<NodeId, f64>,
+        ) -> f64 {
+            if n == NodeId::FALSE {
+                return 0.0;
+            }
+            if n == NodeId::TRUE {
+                return 1.0;
+            }
+            if let Some(&c) = memo.get(&n) {
+                return c;
+            }
+            let v = m.var_of(n);
+            let lo = m.lo(n);
+            let hi = m.hi(n);
+            let lo_v = if lo.is_terminal() { nvars } else { m.var_of(lo) };
+            let hi_v = if hi.is_terminal() { nvars } else { m.var_of(hi) };
+            let c = go(m, lo, nvars, memo) * 2f64.powi((lo_v - v - 1) as i32)
+                + go(m, hi, nvars, memo) * 2f64.powi((hi_v - v - 1) as i32);
+            memo.insert(n, c);
+            c
+        }
+        let top = if f.is_terminal() { nvars } else { self.var_of(f) };
+        go(self, f, nvars, &mut memo) * 2f64.powi(top as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_exist() {
+        let m = BddManager::new(100);
+        assert!(NodeId::FALSE.is_terminal());
+        assert!(NodeId::TRUE.is_terminal());
+        assert_eq!(m.num_nodes(), 2);
+        assert_eq!(m.constant(true), NodeId::TRUE);
+    }
+
+    #[test]
+    fn mk_is_reduced_and_unique() {
+        let mut m = BddManager::new(100);
+        let a1 = m.var(0).unwrap();
+        let a2 = m.var(0).unwrap();
+        assert_eq!(a1, a2);
+        // Redundancy: mk(v, x, x) == x
+        let r = m.mk(3, a1, a1).unwrap();
+        assert_eq!(r, a1);
+    }
+
+    #[test]
+    fn quota_enforced() {
+        let mut m = BddManager::new(3); // terminals + 1 node
+        assert!(m.var(0).is_ok());
+        assert!(matches!(m.var(1), Err(OutOfNodes { quota: 3 })));
+    }
+
+    #[test]
+    fn eval_walks_paths() {
+        let mut m = BddManager::new(100);
+        let a = m.var(0).unwrap();
+        assert!(m.eval(a, &|_| true));
+        assert!(!m.eval(a, &|_| false));
+        let na = m.nvar(0).unwrap();
+        assert!(!m.eval(na, &|_| true));
+    }
+
+    #[test]
+    fn count_sat_single_var() {
+        let mut m = BddManager::new(100);
+        let a = m.var(0).unwrap();
+        assert_eq!(m.count_sat(a, 1), 1.0);
+        assert_eq!(m.count_sat(a, 2), 2.0);
+        assert_eq!(m.count_sat(NodeId::TRUE, 3), 8.0);
+        assert_eq!(m.count_sat(NodeId::FALSE, 3), 0.0);
+    }
+
+    #[test]
+    fn count_sat_deeper_var() {
+        let mut m = BddManager::new(100);
+        let b = m.var(1).unwrap(); // var 1 out of vars {0,1}
+        assert_eq!(m.count_sat(b, 2), 2.0);
+    }
+}

@@ -1,0 +1,561 @@
+//! BDD operations: ITE, boolean connectives, quantification, relational
+//! product, variable renaming, satisfying-assignment extraction.
+
+use crate::manager::{BddManager, NodeId, OutOfNodes};
+
+impl BddManager {
+    /// If-then-else: the universal ternary connective.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfNodes`] when the quota is exhausted.
+    pub fn ite(&mut self, f: NodeId, g: NodeId, h: NodeId) -> Result<NodeId, OutOfNodes> {
+        // Terminal cases.
+        if f == NodeId::TRUE {
+            return Ok(g);
+        }
+        if f == NodeId::FALSE {
+            return Ok(h);
+        }
+        if g == h {
+            return Ok(g);
+        }
+        if g == NodeId::TRUE && h == NodeId::FALSE {
+            return Ok(f);
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return Ok(r);
+        }
+        let v = self
+            .var_of(f)
+            .min(self.var_of(g))
+            .min(self.var_of(h));
+        let (f0, f1) = self.cofactors(f, v);
+        let (g0, g1) = self.cofactors(g, v);
+        let (h0, h1) = self.cofactors(h, v);
+        let lo = self.ite(f0, g0, h0)?;
+        let hi = self.ite(f1, g1, h1)?;
+        let r = self.mk(v, lo, hi)?;
+        self.ite_cache.insert((f, g, h), r);
+        Ok(r)
+    }
+
+    /// Cofactors of `n` with respect to variable `v` (which must be at or
+    /// above `n`'s top variable).
+    fn cofactors(&self, n: NodeId, v: u32) -> (NodeId, NodeId) {
+        if self.var_of(n) == v {
+            (self.lo(n), self.hi(n))
+        } else {
+            (n, n)
+        }
+    }
+
+    /// Negation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfNodes`] when the quota is exhausted.
+    pub fn not(&mut self, f: NodeId) -> Result<NodeId, OutOfNodes> {
+        self.ite(f, NodeId::FALSE, NodeId::TRUE)
+    }
+
+    /// Conjunction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfNodes`] when the quota is exhausted.
+    pub fn and(&mut self, f: NodeId, g: NodeId) -> Result<NodeId, OutOfNodes> {
+        self.ite(f, g, NodeId::FALSE)
+    }
+
+    /// Disjunction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfNodes`] when the quota is exhausted.
+    pub fn or(&mut self, f: NodeId, g: NodeId) -> Result<NodeId, OutOfNodes> {
+        self.ite(f, NodeId::TRUE, g)
+    }
+
+    /// Exclusive or.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfNodes`] when the quota is exhausted.
+    pub fn xor(&mut self, f: NodeId, g: NodeId) -> Result<NodeId, OutOfNodes> {
+        let ng = self.not(g)?;
+        self.ite(f, ng, g)
+    }
+
+    /// Equivalence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfNodes`] when the quota is exhausted.
+    pub fn xnor(&mut self, f: NodeId, g: NodeId) -> Result<NodeId, OutOfNodes> {
+        let ng = self.not(g)?;
+        self.ite(f, g, ng)
+    }
+
+    /// Implication `f -> g`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfNodes`] when the quota is exhausted.
+    pub fn implies(&mut self, f: NodeId, g: NodeId) -> Result<NodeId, OutOfNodes> {
+        self.ite(f, g, NodeId::TRUE)
+    }
+
+    /// Checks `f -> g` is a tautology without building the implication
+    /// (may still allocate in caches).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfNodes`] when the quota is exhausted.
+    pub fn implies_check(&mut self, f: NodeId, g: NodeId) -> Result<bool, OutOfNodes> {
+        let ng = self.not(g)?;
+        let bad = self.and(f, ng)?;
+        Ok(bad == NodeId::FALSE)
+    }
+
+    /// Builds the positive cube of the given variables (sorted ascending
+    /// internally), for use with [`BddManager::exists`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfNodes`] when the quota is exhausted.
+    pub fn cube(&mut self, vars: &[u32]) -> Result<NodeId, OutOfNodes> {
+        let mut sorted = vars.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut acc = NodeId::TRUE;
+        for &v in sorted.iter().rev() {
+            acc = self.mk(v, NodeId::FALSE, acc)?;
+        }
+        Ok(acc)
+    }
+
+    /// Existential quantification of every variable in `cube` from `f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfNodes`] when the quota is exhausted.
+    pub fn exists(&mut self, f: NodeId, cube: NodeId) -> Result<NodeId, OutOfNodes> {
+        if f.is_terminal() || cube == NodeId::TRUE {
+            return Ok(f);
+        }
+        if let Some(&r) = self.exists_cache.get(&(f, cube)) {
+            return Ok(r);
+        }
+        // Skip cube vars above f's top var.
+        let fv = self.var_of(f);
+        let mut c = cube;
+        while !c.is_terminal() && self.var_of(c) < fv {
+            c = self.hi(c);
+        }
+        if c == NodeId::TRUE {
+            return Ok(f);
+        }
+        let cv = self.var_of(c);
+        let r = if fv == cv {
+            let lo = self.exists(self.lo(f), self.hi(c))?;
+            let hi = self.exists(self.hi(f), self.hi(c))?;
+            self.or(lo, hi)?
+        } else {
+            debug_assert!(fv < cv);
+            let lo = self.exists(self.lo(f), c)?;
+            let hi = self.exists(self.hi(f), c)?;
+            self.mk(fv, lo, hi)?
+        };
+        self.exists_cache.insert((f, cube), r);
+        Ok(r)
+    }
+
+    /// Universal quantification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfNodes`] when the quota is exhausted.
+    pub fn forall(&mut self, f: NodeId, cube: NodeId) -> Result<NodeId, OutOfNodes> {
+        let nf = self.not(f)?;
+        let e = self.exists(nf, cube)?;
+        self.not(e)
+    }
+
+    /// Fused relational product `∃ cube. f ∧ g` — the inner loop of image
+    /// computation. Avoids building the full conjunction before
+    /// quantification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfNodes`] when the quota is exhausted.
+    pub fn and_exists(
+        &mut self,
+        f: NodeId,
+        g: NodeId,
+        cube: NodeId,
+    ) -> Result<NodeId, OutOfNodes> {
+        if f == NodeId::FALSE || g == NodeId::FALSE {
+            return Ok(NodeId::FALSE);
+        }
+        if f == NodeId::TRUE && g == NodeId::TRUE {
+            return Ok(NodeId::TRUE);
+        }
+        if cube == NodeId::TRUE {
+            return self.and(f, g);
+        }
+        let key = (f.min(g), f.max(g), cube);
+        if let Some(&r) = self.and_exists_cache.get(&key) {
+            return Ok(r);
+        }
+        let fv = self.var_of(f);
+        let gv = self.var_of(g);
+        let v = fv.min(gv);
+        // Advance the cube to v.
+        let mut c = cube;
+        while !c.is_terminal() && self.var_of(c) < v {
+            c = self.hi(c);
+        }
+        let r = if !c.is_terminal() && self.var_of(c) == v {
+            // Quantified variable: OR of the two cofactored products.
+            let (f0, f1) = self.cofactors(f, v);
+            let (g0, g1) = self.cofactors(g, v);
+            let lo = self.and_exists(f0, g0, self.hi(c))?;
+            if lo == NodeId::TRUE {
+                NodeId::TRUE // short-circuit: OR with anything is TRUE
+            } else {
+                let hi = self.and_exists(f1, g1, self.hi(c))?;
+                self.or(lo, hi)?
+            }
+        } else {
+            let (f0, f1) = self.cofactors(f, v);
+            let (g0, g1) = self.cofactors(g, v);
+            let lo = self.and_exists(f0, g0, c)?;
+            let hi = self.and_exists(f1, g1, c)?;
+            self.mk(v, lo, hi)?
+        };
+        self.and_exists_cache.insert(key, r);
+        Ok(r)
+    }
+
+    /// Renames variables by an **order-preserving** mapping: `map[i]` is a
+    /// `(from, to)` pair; variables not mentioned are unchanged. The
+    /// mapping must preserve relative variable order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfNodes`] when the quota is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertions) if the mapping is not order-preserving,
+    /// which would silently corrupt the diagram.
+    pub fn rename(&mut self, f: NodeId, map: &[(u32, u32)]) -> Result<NodeId, OutOfNodes> {
+        #[cfg(debug_assertions)]
+        {
+            let mut sorted = map.to_vec();
+            sorted.sort_unstable();
+            for w in sorted.windows(2) {
+                debug_assert!(
+                    w[0].1 < w[1].1,
+                    "rename mapping must be order-preserving: {:?}",
+                    map
+                );
+            }
+        }
+        // Hash the map for the cache key.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (a, b) in map {
+            h = (h ^ (*a as u64)).wrapping_mul(0x1000_0000_01b3);
+            h = (h ^ (*b as u64)).wrapping_mul(0x1000_0000_01b3);
+        }
+        self.rename_rec(f, map, h)
+    }
+
+    fn rename_rec(
+        &mut self,
+        f: NodeId,
+        map: &[(u32, u32)],
+        map_hash: u64,
+    ) -> Result<NodeId, OutOfNodes> {
+        if f.is_terminal() {
+            return Ok(f);
+        }
+        if let Some(&r) = self.rename_cache.get(&(f, map_hash)) {
+            return Ok(r);
+        }
+        let v = self.var_of(f);
+        let nv = map
+            .iter()
+            .find(|(from, _)| *from == v)
+            .map(|(_, to)| *to)
+            .unwrap_or(v);
+        let lo = self.rename_rec(self.lo(f), map, map_hash)?;
+        let hi = self.rename_rec(self.hi(f), map, map_hash)?;
+        let r = self.mk(nv, lo, hi)?;
+        self.rename_cache.insert((f, map_hash), r);
+        Ok(r)
+    }
+
+    /// Restricts variable `v` to a constant in `f` (Shannon cofactor).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfNodes`] when the quota is exhausted.
+    pub fn restrict(&mut self, f: NodeId, v: u32, value: bool) -> Result<NodeId, OutOfNodes> {
+        if f.is_terminal() || self.var_of(f) > v {
+            return Ok(f);
+        }
+        if self.var_of(f) == v {
+            return Ok(if value { self.hi(f) } else { self.lo(f) });
+        }
+        let lo = self.restrict(self.lo(f), v, value)?;
+        let hi = self.restrict(self.hi(f), v, value)?;
+        self.mk(self.var_of(f), lo, hi)
+    }
+
+    /// Returns one satisfying assignment of `f` as `(var, value)` pairs for
+    /// the variables on the chosen path, or `None` if `f` is false.
+    /// Variables absent from the result are don't-cares.
+    pub fn sat_one(&self, f: NodeId) -> Option<Vec<(u32, bool)>> {
+        if f == NodeId::FALSE {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut n = f;
+        while !n.is_terminal() {
+            let v = self.var_of(n);
+            // Prefer the branch that reaches TRUE.
+            if self.lo(n) != NodeId::FALSE {
+                path.push((v, false));
+                n = self.lo(n);
+            } else {
+                path.push((v, true));
+                n = self.hi(n);
+            }
+        }
+        debug_assert_eq!(n, NodeId::TRUE);
+        Some(path)
+    }
+
+    /// The support (set of variables) of `f`, ascending.
+    pub fn support(&self, f: NodeId) -> Vec<u32> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::BTreeSet::new();
+        let mut stack = vec![f];
+        while let Some(n) = stack.pop() {
+            if n.is_terminal() || !seen.insert(n) {
+                continue;
+            }
+            vars.insert(self.var_of(n));
+            stack.push(self.lo(n));
+            stack.push(self.hi(n));
+        }
+        vars.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr() -> BddManager {
+        BddManager::new(1 << 20)
+    }
+
+    #[test]
+    fn boolean_laws() {
+        let mut m = mgr();
+        let a = m.var(0).unwrap();
+        let b = m.var(1).unwrap();
+        let ab = m.and(a, b).unwrap();
+        let ba = m.and(b, a).unwrap();
+        assert_eq!(ab, ba, "commutativity");
+        let na = m.not(a).unwrap();
+        let nna = m.not(na).unwrap();
+        assert_eq!(a, nna, "double negation");
+        let a_or_na = m.or(a, na).unwrap();
+        assert_eq!(a_or_na, NodeId::TRUE, "excluded middle");
+        let a_and_na = m.and(a, na).unwrap();
+        assert_eq!(a_and_na, NodeId::FALSE, "contradiction");
+        // De Morgan
+        let nab = m.not(ab).unwrap();
+        let nb = m.not(b).unwrap();
+        let na_or_nb = m.or(na, nb).unwrap();
+        assert_eq!(nab, na_or_nb);
+    }
+
+    #[test]
+    fn xor_xnor() {
+        let mut m = mgr();
+        let a = m.var(0).unwrap();
+        let b = m.var(1).unwrap();
+        let x = m.xor(a, b).unwrap();
+        let xn = m.xnor(a, b).unwrap();
+        let nx = m.not(x).unwrap();
+        assert_eq!(xn, nx);
+        for (av, bv, ev) in [(false, false, false), (false, true, true), (true, false, true), (true, true, false)] {
+            assert_eq!(m.eval(x, &|v| if v == 0 { av } else { bv }), ev);
+        }
+    }
+
+    #[test]
+    fn quantification() {
+        let mut m = mgr();
+        let a = m.var(0).unwrap();
+        let b = m.var(1).unwrap();
+        let ab = m.and(a, b).unwrap();
+        let cube_a = m.cube(&[0]).unwrap();
+        let ex = m.exists(ab, cube_a).unwrap();
+        assert_eq!(ex, b, "∃a. a∧b == b");
+        let fa = m.forall(ab, cube_a).unwrap();
+        assert_eq!(fa, NodeId::FALSE, "∀a. a∧b == false");
+        let a_or_b = m.or(a, b).unwrap();
+        let fa2 = m.forall(a_or_b, cube_a).unwrap();
+        assert_eq!(fa2, b, "∀a. a∨b == b");
+    }
+
+    #[test]
+    fn exists_multiple_vars() {
+        let mut m = mgr();
+        let a = m.var(0).unwrap();
+        let b = m.var(1).unwrap();
+        let c = m.var(2).unwrap();
+        let bc = m.and(b, c).unwrap();
+        let f = m.and(a, bc).unwrap();
+        let cube = m.cube(&[0, 2]).unwrap();
+        let ex = m.exists(f, cube).unwrap();
+        assert_eq!(ex, b);
+    }
+
+    #[test]
+    fn and_exists_equals_sequential() {
+        let mut m = mgr();
+        let a = m.var(0).unwrap();
+        let b = m.var(1).unwrap();
+        let c = m.var(2).unwrap();
+        let f = m.or(a, c).unwrap();
+        let g = m.xor(b, c).unwrap();
+        let cube = m.cube(&[2]).unwrap();
+        let fused = m.and_exists(f, g, cube).unwrap();
+        let conj = m.and(f, g).unwrap();
+        let seq = m.exists(conj, cube).unwrap();
+        assert_eq!(fused, seq);
+    }
+
+    #[test]
+    fn rename_shifts_vars() {
+        let mut m = mgr();
+        let a = m.var(0).unwrap();
+        let b = m.var(2).unwrap();
+        let f = m.and(a, b).unwrap();
+        // 0->1, 2->3 (order preserving)
+        let g = m.rename(f, &[(0, 1), (2, 3)]).unwrap();
+        let a1 = m.var(1).unwrap();
+        let b3 = m.var(3).unwrap();
+        let expect = m.and(a1, b3).unwrap();
+        assert_eq!(g, expect);
+    }
+
+    #[test]
+    fn restrict_cofactors() {
+        let mut m = mgr();
+        let a = m.var(0).unwrap();
+        let b = m.var(1).unwrap();
+        let f = m.xor(a, b).unwrap();
+        let f_a1 = m.restrict(f, 0, true).unwrap();
+        let nb = m.not(b).unwrap();
+        assert_eq!(f_a1, nb);
+        let f_a0 = m.restrict(f, 0, false).unwrap();
+        assert_eq!(f_a0, b);
+    }
+
+    #[test]
+    fn sat_one_finds_assignment() {
+        let mut m = mgr();
+        let a = m.var(0).unwrap();
+        let b = m.var(1).unwrap();
+        let nb = m.not(b).unwrap();
+        let f = m.and(a, nb).unwrap();
+        let sol = m.sat_one(f).unwrap();
+        assert!(sol.contains(&(0, true)));
+        assert!(sol.contains(&(1, false)));
+        assert_eq!(m.sat_one(NodeId::FALSE), None);
+        assert_eq!(m.sat_one(NodeId::TRUE), Some(vec![]));
+    }
+
+    #[test]
+    fn support_lists_vars() {
+        let mut m = mgr();
+        let a = m.var(0).unwrap();
+        let c = m.var(5).unwrap();
+        let f = m.xor(a, c).unwrap();
+        assert_eq!(m.support(f), vec![0, 5]);
+        assert!(m.support(NodeId::TRUE).is_empty());
+    }
+
+    #[test]
+    fn implies_check_works() {
+        let mut m = mgr();
+        let a = m.var(0).unwrap();
+        let b = m.var(1).unwrap();
+        let ab = m.and(a, b).unwrap();
+        assert!(m.implies_check(ab, a).unwrap());
+        assert!(!m.implies_check(a, ab).unwrap());
+    }
+
+    #[test]
+    fn quota_propagates_through_ops() {
+        let mut m = BddManager::new(8);
+        let mut f = m.var(0).unwrap();
+        let mut overflowed = false;
+        for v in 1..20 {
+            let x = match m.var(v) {
+                Ok(x) => x,
+                Err(_) => {
+                    overflowed = true;
+                    break;
+                }
+            };
+            match m.xor(f, x) {
+                Ok(g) => f = g,
+                Err(_) => {
+                    overflowed = true;
+                    break;
+                }
+            }
+        }
+        assert!(overflowed, "tiny quota must overflow");
+    }
+
+    /// Property-style check: BDD of a random 3-var function equals its
+    /// truth table, for all 256 functions.
+    #[test]
+    fn all_three_var_functions() {
+        for tt in 0u32..256 {
+            let mut m = BddManager::new(1 << 16);
+            // Build f = OR over minterms.
+            let mut f = NodeId::FALSE;
+            for row in 0..8u32 {
+                if tt >> row & 1 == 1 {
+                    let mut term = NodeId::TRUE;
+                    for v in 0..3u32 {
+                        let lit = if row >> v & 1 == 1 {
+                            m.var(v).unwrap()
+                        } else {
+                            m.nvar(v).unwrap()
+                        };
+                        term = m.and(term, lit).unwrap();
+                    }
+                    f = m.or(f, term).unwrap();
+                }
+            }
+            for row in 0..8u32 {
+                let want = tt >> row & 1 == 1;
+                let got = m.eval(f, &|v| row >> v & 1 == 1);
+                assert_eq!(got, want, "tt={tt:08b} row={row}");
+            }
+            assert_eq!(m.count_sat(f, 3) as u32, tt.count_ones());
+        }
+    }
+}

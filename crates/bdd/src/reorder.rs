@@ -1,0 +1,212 @@
+//! Static variable-order search by *window permutation*: a lightweight
+//! relative of Rudell's sifting suited to this package's
+//! no-inplace-mutation node table.
+//!
+//! The manager's ops assume a fixed global order, so instead of swapping
+//! adjacent levels in place (classic sifting), [`best_window_order`]
+//! evaluates candidate orders by *rebuilding* the function under each
+//! permutation of a sliding window and keeping the best. Rebuilding via
+//! [`BddManager::rename`] is only valid for order-preserving maps, so the
+//! rebuild here re-evaluates the function bottom-up with Shannon
+//! expansion in the new order — exact, if more expensive than in-place
+//! sifting; intended for the moderate variable counts of leaf-module
+//! cones.
+
+use crate::manager::{BddManager, NodeId, OutOfNodes};
+
+/// Rebuilds `f` (expressed over variables in `order_from` positions) so
+/// that variable `order_to[i]` sits at level `i` of a fresh manager.
+///
+/// `order_to` must be a permutation of `0..n` where `n` covers the
+/// support of `f`.
+///
+/// # Errors
+///
+/// Returns [`OutOfNodes`] if the destination manager's quota is
+/// exhausted.
+pub fn rebuild_with_order(
+    src: &BddManager,
+    f: NodeId,
+    order_to: &[u32],
+    dst: &mut BddManager,
+) -> Result<NodeId, OutOfNodes> {
+    // position_of[v] = level of variable v in the new order.
+    let mut position_of = vec![0u32; order_to.len()];
+    for (lvl, v) in order_to.iter().enumerate() {
+        position_of[*v as usize] = lvl as u32;
+    }
+    let mut memo = std::collections::HashMap::new();
+    rebuild(src, f, &position_of, dst, &mut memo)
+}
+
+fn rebuild(
+    src: &BddManager,
+    f: NodeId,
+    position_of: &[u32],
+    dst: &mut BddManager,
+    memo: &mut std::collections::HashMap<NodeId, NodeId>,
+) -> Result<NodeId, OutOfNodes> {
+    if f.is_terminal() {
+        return Ok(f);
+    }
+    if let Some(&r) = memo.get(&f) {
+        return Ok(r);
+    }
+    let v = src.node_var(f);
+    let lo = rebuild(src, src_lo(src, f), position_of, dst, memo)?;
+    let hi = rebuild(src, src_hi(src, f), position_of, dst, memo)?;
+    // In the destination, the decision on v happens at its new position;
+    // build ITE(var_at_new_pos, hi, lo). ITE keeps the result ordered even
+    // when children contain variables now placed above v.
+    let nv = dst.var(position_of[v as usize])?;
+    let r = dst.ite(nv, hi, lo)?;
+    memo.insert(f, r);
+    Ok(r)
+}
+
+fn src_lo(src: &BddManager, f: NodeId) -> NodeId {
+    src.lo(f)
+}
+
+fn src_hi(src: &BddManager, f: NodeId) -> NodeId {
+    src.hi(f)
+}
+
+/// Searches for a small-size variable order by sliding a window of
+/// `window` variables over the order and trying every permutation inside
+/// the window (window permutation search). Returns `(order, size)` of
+/// the best order found; `order[i]` is the original variable placed at
+/// level `i`.
+///
+/// # Errors
+///
+/// Returns [`OutOfNodes`] if a rebuild exceeds `quota`.
+pub fn best_window_order(
+    src: &BddManager,
+    f: NodeId,
+    nvars: u32,
+    window: usize,
+    quota: usize,
+) -> Result<(Vec<u32>, usize), OutOfNodes> {
+    let mut order: Vec<u32> = (0..nvars).collect();
+    let mut best_size = {
+        let mut m = BddManager::new(quota);
+        let g = rebuild_with_order(src, f, &order, &mut m)?;
+        m.size(g)
+    };
+    let window = window.max(2).min(nvars as usize);
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for start in 0..=(nvars as usize - window) {
+            let mut perm_indices: Vec<usize> = (0..window).collect();
+            // Heap's algorithm over the window slots.
+            let mut c = vec![0usize; window];
+            let mut i = 0;
+            while i < window {
+                if c[i] < i {
+                    if i % 2 == 0 {
+                        perm_indices.swap(0, i);
+                    } else {
+                        perm_indices.swap(c[i], i);
+                    }
+                    // Apply this window permutation to a candidate order.
+                    let mut cand = order.clone();
+                    let slice: Vec<u32> =
+                        perm_indices.iter().map(|k| order[start + k]).collect();
+                    cand[start..start + window].copy_from_slice(&slice);
+                    let mut m = BddManager::new(quota);
+                    let g = rebuild_with_order(src, f, &cand, &mut m)?;
+                    let size = m.size(g);
+                    if size < best_size {
+                        best_size = size;
+                        order = cand;
+                        improved = true;
+                    }
+                    c[i] += 1;
+                    i = 0;
+                } else {
+                    c[i] = 0;
+                    i += 1;
+                }
+            }
+        }
+    }
+    Ok((order, best_size))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The canonical order-sensitive function:
+    /// f = x0·x1 ∨ x2·x3 ∨ x4·x5 is linear in the good (paired) order and
+    /// exponential in the interleaved order (x0 x2 x4 x1 x3 x5).
+    fn chained_pairs(m: &mut BddManager, pairs: &[(u32, u32)]) -> NodeId {
+        let mut f = NodeId::FALSE;
+        for (a, b) in pairs {
+            let va = m.var(*a).unwrap();
+            let vb = m.var(*b).unwrap();
+            let t = m.and(va, vb).unwrap();
+            f = m.or(f, t).unwrap();
+        }
+        f
+    }
+
+    #[test]
+    fn rebuild_preserves_semantics() {
+        let mut src = BddManager::new(1 << 16);
+        let f = chained_pairs(&mut src, &[(0, 3), (1, 4), (2, 5)]);
+        let order = vec![0u32, 3, 1, 4, 2, 5];
+        let mut dst = BddManager::new(1 << 16);
+        let g = rebuild_with_order(&src, f, &order, &mut dst).unwrap();
+        // Semantics: dst level i holds variable order[i]; evaluate both on
+        // all 64 assignments.
+        for asg in 0..64u32 {
+            let want = src.eval(f, &|v| asg >> v & 1 == 1);
+            let got = dst.eval(g, &|lvl| {
+                let v = order[lvl as usize];
+                asg >> v & 1 == 1
+            });
+            assert_eq!(want, got, "assignment {asg:06b}");
+        }
+    }
+
+    #[test]
+    fn good_order_is_smaller_than_bad() {
+        // Bad (interleaved) order in the source manager.
+        let mut src = BddManager::new(1 << 18);
+        let f = chained_pairs(&mut src, &[(0, 3), (1, 4), (2, 5)]);
+        let bad_size = src.size(f);
+        // Paired order: (0,3)(1,4)(2,5) adjacent.
+        let order = vec![0u32, 3, 1, 4, 2, 5];
+        let mut dst = BddManager::new(1 << 18);
+        let g = rebuild_with_order(&src, f, &order, &mut dst).unwrap();
+        assert!(
+            dst.size(g) < bad_size,
+            "paired order {} must beat interleaved {}",
+            dst.size(g),
+            bad_size
+        );
+    }
+
+    #[test]
+    fn window_search_finds_the_pairing() {
+        let mut src = BddManager::new(1 << 18);
+        let f = chained_pairs(&mut src, &[(0, 3), (1, 4), (2, 5)]);
+        let start_size = src.size(f);
+        let (order, size) = best_window_order(&src, f, 6, 3, 1 << 18).unwrap();
+        assert!(size <= start_size, "search must not regress");
+        assert!(size <= 10, "pairs function has a linear-size order, got {size} via {order:?}");
+    }
+
+    #[test]
+    fn identity_order_roundtrips() {
+        let mut src = BddManager::new(1 << 16);
+        let f = chained_pairs(&mut src, &[(0, 1), (2, 3)]);
+        let order: Vec<u32> = (0..4).collect();
+        let mut dst = BddManager::new(1 << 16);
+        let g = rebuild_with_order(&src, f, &order, &mut dst).unwrap();
+        assert_eq!(src.size(f), dst.size(g));
+    }
+}

@@ -1,0 +1,62 @@
+//! Figure 7 benchmark: budget sweep showing where the monolithic check
+//! falls over while partitioned corns keep proving (ablation of the
+//! deterministic-resource-budget design decision).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use veridic::prelude::*;
+use veridic_bench::aig_of;
+
+fn partition(c: &mut Criterion) {
+    let module = demo_chain_module(12);
+    let vm = make_verifiable(&module).unwrap();
+    let vunits = generate_all(&vm).unwrap();
+    let (_, integ) = vunits
+        .iter()
+        .find(|(g, _)| g.ptype == PropertyType::OutputIntegrity)
+        .unwrap();
+    let aig = aig_of(integ);
+    let steps = partition_output_integrity(&vm, 0).unwrap();
+
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("monolithic_generous", |b| {
+        b.iter(|| {
+            // Time-to-verdict: the chain is correct, so the check must
+            // never falsify; whether it proves or exhausts the (generous)
+            // budget is exactly the phenomenon Fig. 7 is about.
+            let r = check(&aig, &CheckOptions::default());
+            assert!(!r.verdict.is_falsified());
+            std::hint::black_box(r)
+        })
+    });
+    group.bench_function("partitioned_generous", |b| {
+        b.iter(|| {
+            let run = run_partition(&steps, &CheckOptions::default());
+            assert!(run.all_proved);
+        })
+    });
+    let tight = CheckOptions {
+        bdd_nodes: 9_000,
+        sat_conflicts: 600,
+        bmc_depth: 3,
+        induction_depth: 3,
+        simple_path: false,
+        max_iterations: 200,
+        pobdd_window_vars: 0,
+        ..CheckOptions::default()
+    };
+    group.bench_function("partitioned_tight", |b| {
+        b.iter(|| {
+            let run = run_partition(&steps, &tight);
+            assert!(run.all_proved);
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = partition
+}
+criterion_main!(benches);

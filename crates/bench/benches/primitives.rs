@@ -1,0 +1,102 @@
+//! Criterion benchmarks for the engine primitives: BDD operations,
+//! SAT solving, AIG construction and bit-blasting.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use veridic::bdd::BddManager;
+use veridic::prelude::*;
+use veridic::sat::{Lit as SLit, SolveResult, Solver, Var as SVar};
+
+fn bdd_ops(c: &mut Criterion) {
+    c.bench_function("bdd/xor_chain_32", |b| {
+        b.iter(|| {
+            let mut m = BddManager::new(1 << 20);
+            let mut f = m.var(0).unwrap();
+            for v in 1..32 {
+                let x = m.var(v).unwrap();
+                f = m.xor(f, x).unwrap();
+            }
+            std::hint::black_box(m.size(f))
+        })
+    });
+    c.bench_function("bdd/relational_product_16", |b| {
+        b.iter(|| {
+            let mut m = BddManager::new(1 << 20);
+            // f = AND of xnor(2i, 2i+1); quantify the even vars.
+            let mut f = veridic::bdd::NodeId::TRUE;
+            for i in 0..16u32 {
+                let a = m.var(2 * i).unwrap();
+                let b2 = m.var(2 * i + 1).unwrap();
+                let t = m.xnor(a, b2).unwrap();
+                f = m.and(f, t).unwrap();
+            }
+            let evens: Vec<u32> = (0..16).map(|i| 2 * i).collect();
+            let cube = m.cube(&evens).unwrap();
+            let g = m.exists(f, cube).unwrap();
+            std::hint::black_box(g)
+        })
+    });
+}
+
+fn sat_ops(c: &mut Criterion) {
+    c.bench_function("sat/php_5_4", |b| {
+        b.iter(|| {
+            let mut s = Solver::new();
+            let n = 5;
+            let m = 4;
+            let mut p = vec![vec![SVar(0); m]; n];
+            for row in p.iter_mut() {
+                for slot in row.iter_mut() {
+                    *slot = s.new_var();
+                }
+            }
+            for row in &p {
+                let cls: Vec<SLit> = row.iter().map(|v| SLit::pos(*v)).collect();
+                s.add_clause(&cls);
+            }
+            for j in 0..m {
+                for i1 in 0..n {
+                    for i2 in i1 + 1..n {
+                        s.add_clause(&[SLit::neg(p[i1][j]), SLit::neg(p[i2][j])]);
+                    }
+                }
+            }
+            assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        })
+    });
+}
+
+fn lowering(c: &mut Criterion) {
+    let plan = &build_plans(Scale::Small)[0];
+    let module = build_leaf(plan, None);
+    let vm = make_verifiable(&module).unwrap();
+    c.bench_function("netlist/bit_blast_leaf", |b| {
+        b.iter_batched(
+            || vm.module.clone(),
+            |m| std::hint::black_box(m.to_aig().unwrap().aig.num_ands()),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("psl/compile_stereotypes", |b| {
+        b.iter(|| std::hint::black_box(generate_all(&vm).unwrap().len()))
+    });
+}
+
+fn sim_throughput(c: &mut Criterion) {
+    let plan = &build_plans(Scale::Small)[0];
+    let module = build_leaf(plan, None);
+    c.bench_function("sim/spec_compliant_1k_cycles", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&module).unwrap();
+            let mut stim = SpecCompliant::new(7);
+            let r = sim.run_with(&mut stim, 1_000, |_| None::<()>).unwrap();
+            std::hint::black_box(r)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bdd_ops, sat_ops, lowering, sim_throughput
+}
+criterion_main!(benches);

@@ -1,0 +1,348 @@
+//! The verification design flow (paper §4, Figure 5) as an executable
+//! campaign: logic designers release Verifiable RTL and integrity
+//! specifications (here: the generated chip with checkpoint attributes);
+//! the formal verification engineer derives PSL vunits, model checks
+//! every leaf module, and feeds results back.
+
+use crate::stereotype::{generate_all, GeneratedVUnit, StereotypeError};
+use crate::verifiable::{make_verifiable, TransformError, VerifiableModule};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+use veridic_chipgen::{Category, Chip, PropertyType};
+use veridic_mc::{check_one, CheckOptions, CheckStats, Verdict};
+use veridic_psl::CompiledVUnit;
+
+/// Campaign configuration.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Engine budgets per property.
+    pub check: CheckOptions,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig { check: CheckOptions::default() }
+    }
+}
+
+/// Result of one property check within the campaign.
+#[derive(Clone, Debug)]
+pub struct PropertyRecord {
+    /// Leaf module name.
+    pub module: String,
+    /// Module category.
+    pub category: Category,
+    /// Vunit name.
+    pub vunit: String,
+    /// Assertion label.
+    pub label: String,
+    /// Property type (P0..P3).
+    pub ptype: PropertyType,
+    /// Check verdict.
+    pub verdict: Verdict,
+    /// Engine statistics.
+    pub stats: CheckStats,
+    /// Wall-clock time of the check.
+    pub duration: Duration,
+}
+
+/// A campaign over a whole chip.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignReport {
+    /// One record per checked assertion.
+    pub records: Vec<PropertyRecord>,
+    /// Modules that failed to transform or compile, with reasons.
+    pub errors: Vec<(String, String)>,
+    /// Total wall-clock time.
+    pub total_time: Duration,
+}
+
+/// Errors during per-module preparation.
+#[derive(Clone, Debug)]
+pub enum FlowError {
+    /// Verifiable transform failed.
+    Transform(TransformError),
+    /// Property generation failed.
+    Stereotype(StereotypeError),
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::Transform(e) => write!(f, "{e}"),
+            FlowError::Stereotype(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// Prepares one leaf module: Verifiable transform + stereotype vunits.
+///
+/// # Errors
+///
+/// Returns [`FlowError`] if the module lacks checkpoints or generated
+/// properties fail to compile.
+pub fn prepare_module(
+    m: &veridic_netlist::Module,
+) -> Result<(VerifiableModule, Vec<(GeneratedVUnit, CompiledVUnit)>), FlowError> {
+    let vm = make_verifiable(m).map_err(FlowError::Transform)?;
+    let units = generate_all(&vm).map_err(FlowError::Stereotype)?;
+    Ok((vm, units))
+}
+
+/// Runs the full formal campaign over a generated chip: every leaf
+/// module, every stereotype property.
+pub fn run_campaign(chip: &Chip, cfg: &CampaignConfig) -> CampaignReport {
+    let start = Instant::now();
+    let mut report = CampaignReport::default();
+    for mi in chip.modules() {
+        let m = chip
+            .design()
+            .module(mi.name())
+            .expect("chip lists existing modules");
+        let (_, units) = match prepare_module(m) {
+            Ok(x) => x,
+            Err(e) => {
+                report.errors.push((mi.name().to_string(), e.to_string()));
+                continue;
+            }
+        };
+        for (gen, compiled) in units {
+            let lowered = match compiled.module.to_aig() {
+                Ok(l) => l,
+                Err(e) => {
+                    report.errors.push((mi.name().to_string(), e.to_string()));
+                    continue;
+                }
+            };
+            let mut aig = lowered.aig.clone();
+            for (label, net) in &compiled.asserts {
+                aig.add_bad(label.clone(), lowered.bit(*net, 0));
+            }
+            for (label, net) in &compiled.assumes {
+                aig.add_constraint(label.clone(), !lowered.bit(*net, 0));
+            }
+            for (idx, (label, _)) in compiled.asserts.iter().enumerate() {
+                let t0 = Instant::now();
+                let mut stats = CheckStats::default();
+                let verdict = check_one(&aig, idx, &cfg.check, &mut stats);
+                report.records.push(PropertyRecord {
+                    module: mi.name().to_string(),
+                    category: mi.plan().category,
+                    vunit: gen.unit.name.clone(),
+                    label: label.clone(),
+                    ptype: gen.ptype,
+                    verdict,
+                    stats,
+                    duration: t0.elapsed(),
+                });
+            }
+        }
+    }
+    report.total_time = start.elapsed();
+    report
+}
+
+/// One row of the Table-2 reproduction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table2Row {
+    /// Category.
+    pub category: Category,
+    /// Submodule count.
+    pub submodules: usize,
+    /// Distinct bugs found (falsified properties attributed to seeded
+    /// defects; the decoder's single failing property counts its two
+    /// independent bad cases).
+    pub bugs: usize,
+    /// P0 properties checked.
+    pub p0: usize,
+    /// P1 properties checked.
+    pub p1: usize,
+    /// P2 properties checked.
+    pub p2: usize,
+    /// P3 properties checked.
+    pub p3: usize,
+}
+
+impl CampaignReport {
+    /// Aggregates the campaign into Table 2 rows (one per category).
+    pub fn table2(&self, chip: &Chip) -> Vec<Table2Row> {
+        let mut rows: BTreeMap<Category, Table2Row> = BTreeMap::new();
+        for mi in chip.modules() {
+            let row = rows.entry(mi.plan().category).or_insert(Table2Row {
+                category: mi.plan().category,
+                submodules: 0,
+                bugs: 0,
+                p0: 0,
+                p1: 0,
+                p2: 0,
+                p3: 0,
+            });
+            row.submodules += 1;
+        }
+        for r in &self.records {
+            let row = rows.get_mut(&r.category).expect("category exists");
+            match r.ptype {
+                PropertyType::ErrorDetection => row.p0 += 1,
+                PropertyType::Soundness => row.p1 += 1,
+                PropertyType::OutputIntegrity => row.p2 += 1,
+                PropertyType::Other => row.p3 += 1,
+            }
+        }
+        // Bugs: seeded defects confirmed by at least one falsified
+        // property in the hosting module.
+        for (module, bug) in chip.bugs() {
+            let hit = self
+                .records
+                .iter()
+                .any(|r| r.module == module && r.verdict.is_falsified());
+            if hit {
+                let cat = chip
+                    .modules()
+                    .iter()
+                    .find(|m| m.name() == module)
+                    .expect("bug module exists")
+                    .plan()
+                    .category;
+                rows.get_mut(&cat).expect("category exists").bugs += 1;
+            }
+            let _ = bug;
+        }
+        rows.into_values().collect()
+    }
+
+    /// All falsified properties.
+    pub fn failures(&self) -> Vec<&PropertyRecord> {
+        self.records.iter().filter(|r| r.verdict.is_falsified()).collect()
+    }
+
+    /// All properties that ran out of budget.
+    pub fn resource_outs(&self) -> Vec<&PropertyRecord> {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.verdict, Verdict::ResourceOut { .. }))
+            .collect()
+    }
+
+    /// Renders the Table-2 reproduction as text.
+    pub fn render_table2(&self, chip: &Chip) -> String {
+        let rows = self.table2(chip);
+        let mut s = String::new();
+        let _ = writeln!(s, "Table 2. Number of verified properties");
+        let _ = writeln!(s, "{:<8} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>7}",
+            "Module", "#Sub", "#Bug", "P0", "P1", "P2", "P3", "Total");
+        let mut tot = (0, 0, 0, 0, 0, 0, 0);
+        for r in &rows {
+            let total = r.p0 + r.p1 + r.p2 + r.p3;
+            let _ = writeln!(s, "{:<8} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>7}",
+                r.category.to_string(), r.submodules, r.bugs, r.p0, r.p1, r.p2, r.p3, total);
+            tot.0 += r.submodules;
+            tot.1 += r.bugs;
+            tot.2 += r.p0;
+            tot.3 += r.p1;
+            tot.4 += r.p2;
+            tot.5 += r.p3;
+            tot.6 += total;
+        }
+        let _ = writeln!(s, "{:<8} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>7}",
+            "Total", tot.0, tot.1, tot.2, tot.3, tot.4, tot.5, tot.6);
+        s
+    }
+
+    /// Fraction of properties proved.
+    pub fn proved_ratio(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.verdict.is_proved()).count() as f64
+            / self.records.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veridic_chipgen::{ChipConfig, Scale};
+
+    #[test]
+    fn clean_small_chip_proves_everything() {
+        let chip = Chip::generate(&ChipConfig { scale: Scale::Small, with_bugs: false });
+        let report = run_campaign(&chip, &CampaignConfig::default());
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+        let failures = report.failures();
+        assert!(
+            failures.is_empty(),
+            "clean chip must verify: {:?}",
+            failures
+                .iter()
+                .map(|f| (&f.module, &f.label, &f.verdict))
+                .collect::<Vec<_>>()
+        );
+        assert!(
+            report.resource_outs().is_empty(),
+            "budgets must suffice: {:?}",
+            report
+                .resource_outs()
+                .iter()
+                .map(|f| (&f.module, &f.label))
+                .collect::<Vec<_>>()
+        );
+        // Census: the small chip checks its planned property counts.
+        let expected: usize = chip
+            .modules()
+            .iter()
+            .map(|m| m.plan().p0() + m.plan().p1() + m.plan().p2() + m.plan().p3)
+            .sum();
+        assert_eq!(report.records.len(), expected);
+    }
+
+    #[test]
+    fn buggy_small_chip_finds_all_seven_bugs() {
+        let chip = Chip::generate(&ChipConfig { scale: Scale::Small, with_bugs: true });
+        let report = run_campaign(&chip, &CampaignConfig::default());
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+        // Every seeded bug's module has at least one falsified property.
+        for (module, bug) in chip.bugs() {
+            let hits: Vec<&PropertyRecord> = report
+                .records
+                .iter()
+                .filter(|r| r.module == module && r.verdict.is_falsified())
+                .collect();
+            assert!(!hits.is_empty(), "bug {bug} in {module} missed by the campaign");
+            // The failing property type matches Table 3.
+            assert!(
+                hits.iter().any(|h| h.ptype == bug.property_type()),
+                "bug {bug} should fail a {} property; failing: {:?}",
+                bug.property_type(),
+                hits.iter().map(|h| (h.ptype, &h.label)).collect::<Vec<_>>()
+            );
+        }
+        // No spurious failures in unbugged modules.
+        let bug_modules: std::collections::BTreeSet<String> =
+            chip.bugs().into_iter().map(|(m, _)| m).collect();
+        for r in report.failures() {
+            assert!(
+                bug_modules.contains(&r.module),
+                "spurious failure in clean module {}: {}",
+                r.module,
+                r.label
+            );
+        }
+    }
+
+    #[test]
+    fn table2_shape_on_small_chip() {
+        let chip = Chip::generate(&ChipConfig { scale: Scale::Small, with_bugs: true });
+        let report = run_campaign(&chip, &CampaignConfig::default());
+        let rows = report.table2(&chip);
+        assert_eq!(rows.len(), 5);
+        let text = report.render_table2(&chip);
+        assert!(text.contains("Table 2"));
+        assert!(text.contains("Total"));
+        // Bug census at small scale: same placement as full scale.
+        let bugs: usize = rows.iter().map(|r| r.bugs).sum();
+        assert_eq!(bugs, 7);
+    }
+}

@@ -1,0 +1,319 @@
+//! SAT-based bounded model checking and k-induction.
+
+use crate::{CheckStats, Trace};
+use veridic_aig::Aig;
+use veridic_sat::{CnfBuilder, Lit as SLit, SolveResult, Solver};
+
+/// Outcome of a BMC run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BmcOutcome {
+    /// A counterexample was found.
+    Falsified(Trace),
+    /// No counterexample up to the depth bound.
+    NoCounterexample,
+    /// The conflict budget ran out.
+    ResourceOut,
+}
+
+/// Outcome of a k-induction run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InductionOutcome {
+    /// Proved at the contained induction depth.
+    Proved(usize),
+    /// Not k-inductive up to the depth bound (property may still hold).
+    Unknown,
+    /// The conflict budget ran out.
+    ResourceOut,
+}
+
+/// Bounded model checking of all bads of `aig` between depths
+/// `min_depth..=max_depth` (cycle indices: a violation "at depth k" fires
+/// in cycle k of a k+1-cycle trace).
+///
+/// Returns on the first (shallowest) counterexample.
+pub fn bmc_check(
+    aig: &Aig,
+    min_depth: usize,
+    max_depth: usize,
+    conflict_budget: u64,
+    stats: &mut CheckStats,
+) -> BmcOutcome {
+    let mut solver = Solver::new();
+    let base_conflicts = 0;
+    solver.set_conflict_budget(Some(conflict_budget));
+    let mut frames = Vec::new();
+    {
+        let mut cb = CnfBuilder::new(&mut solver);
+        let f0 = cb.encode_frame(aig, None);
+        cb.assert_initial(aig, &f0);
+        cb.assert_constraints(aig, &f0);
+        frames.push(f0);
+    }
+    for k in 0..=max_depth {
+        while frames.len() <= k {
+            let prev_next: Vec<SLit> = frames.last().unwrap().next_state.clone();
+            let mut cb = CnfBuilder::new(&mut solver);
+            let f = cb.encode_frame(aig, Some(&prev_next));
+            cb.assert_constraints(aig, &f);
+            frames.push(f);
+        }
+        if k < min_depth {
+            continue;
+        }
+        // bad_k: OR of all bads in frame k, via a selector literal.
+        let frame = &frames[k];
+        let bad_lits: Vec<SLit> = aig.bads().iter().map(|b| frame.lit(b.lit)).collect();
+        let sel = SLit::pos(solver.new_var());
+        // sel -> (b1 | b2 | ...): clause (!sel, b1, b2, ...)
+        let mut clause = vec![!sel];
+        clause.extend(bad_lits.iter().copied());
+        solver.add_clause(&clause);
+        match solver.solve(&[sel]) {
+            SolveResult::Sat => {
+                // Which bad fired?
+                let bad_index = bad_lits
+                    .iter()
+                    .position(|l| solver.value(l.var()).map(|v| v ^ l.is_neg()) == Some(true))
+                    .expect("some bad literal is true in the model");
+                let mut inputs = Vec::with_capacity(k + 1);
+                for frame in frames.iter().take(k + 1) {
+                    let row: Vec<bool> = frame
+                        .inputs
+                        .iter()
+                        .map(|l| {
+                            solver
+                                .value(l.var())
+                                .map(|v| v ^ l.is_neg())
+                                .unwrap_or(false)
+                        })
+                        .collect();
+                    inputs.push(row);
+                }
+                stats.sat_conflicts += solver.num_conflicts() - base_conflicts;
+                return BmcOutcome::Falsified(Trace { inputs, bad_index });
+            }
+            SolveResult::Unsat => {
+                // Block this depth permanently (helps later queries).
+                solver.add_clause(&[!sel]);
+            }
+            SolveResult::Unknown => {
+                stats.sat_conflicts += solver.num_conflicts() - base_conflicts;
+                return BmcOutcome::ResourceOut;
+            }
+        }
+    }
+    stats.sat_conflicts += solver.num_conflicts() - base_conflicts;
+    BmcOutcome::NoCounterexample
+}
+
+/// k-induction: proves `never bad` if, assuming no bad in `k` consecutive
+/// constraint-satisfying cycles from an arbitrary state, no bad can occur
+/// in the next cycle — together with a BMC base case the caller is
+/// expected to have run to at least the same depth.
+///
+/// `simple_path` adds loop-free (all-states-distinct) constraints, which
+/// makes the method complete for large enough `k` at quadratic clause
+/// cost.
+pub fn induction_check(
+    aig: &Aig,
+    max_k: usize,
+    simple_path: bool,
+    conflict_budget: u64,
+    stats: &mut CheckStats,
+) -> InductionOutcome {
+    for k in 1..=max_k {
+        let mut solver = Solver::new();
+        solver.set_conflict_budget(Some(conflict_budget));
+        // Frames 0..=k from an arbitrary initial state.
+        let mut frames = Vec::new();
+        {
+            let mut cb = CnfBuilder::new(&mut solver);
+            let f0 = cb.encode_frame(aig, None);
+            cb.assert_constraints(aig, &f0);
+            frames.push(f0);
+        }
+        for _ in 0..k {
+            let prev_next: Vec<SLit> = frames.last().unwrap().next_state.clone();
+            let mut cb = CnfBuilder::new(&mut solver);
+            let f = cb.encode_frame(aig, Some(&prev_next));
+            cb.assert_constraints(aig, &f);
+            frames.push(f);
+        }
+        // No bad in frames 0..k.
+        for frame in frames.iter().take(k) {
+            for b in aig.bads() {
+                solver.add_clause(&[!frame.lit(b.lit)]);
+            }
+        }
+        // Simple path: all frame state vectors pairwise distinct.
+        if simple_path && aig.num_latches() > 0 {
+            let state_lits: Vec<Vec<SLit>> = frames
+                .iter()
+                .map(|f| {
+                    aig.latches()
+                        .iter()
+                        .map(|l| f.lit(veridic_aig::Lit::new(l.var, false)))
+                        .collect()
+                })
+                .collect();
+            for i in 0..state_lits.len() {
+                for j in i + 1..state_lits.len() {
+                    // diff_ij: OR over bits of (s_i[b] != s_j[b]).
+                    let mut diff_clause = Vec::new();
+                    for b in 0..aig.num_latches() {
+                        let d = SLit::pos(solver.new_var());
+                        let x = state_lits[i][b];
+                        let y = state_lits[j][b];
+                        // d -> (x != y): (!d, x, y), (!d, !x, !y)
+                        solver.add_clause(&[!d, x, y]);
+                        solver.add_clause(&[!d, !x, !y]);
+                        diff_clause.push(d);
+                    }
+                    solver.add_clause(&diff_clause);
+                }
+            }
+        }
+        // Bad at frame k?
+        let frame = &frames[k];
+        let bad_lits: Vec<SLit> = aig.bads().iter().map(|b| frame.lit(b.lit)).collect();
+        let mut clause = Vec::new();
+        clause.extend(bad_lits.iter().copied());
+        let sel = SLit::pos(solver.new_var());
+        let mut cl = vec![!sel];
+        cl.extend(clause);
+        solver.add_clause(&cl);
+        let res = solver.solve(&[sel]);
+        stats.sat_conflicts += solver.num_conflicts();
+        match res {
+            SolveResult::Unsat => return InductionOutcome::Proved(k),
+            SolveResult::Sat => continue, // not k-inductive; try larger k
+            SolveResult::Unknown => return InductionOutcome::ResourceOut,
+        }
+    }
+    InductionOutcome::Unknown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veridic_aig::Aig;
+
+    fn toggle() -> Aig {
+        let mut g = Aig::new();
+        let (id, q) = g.latch("q", false);
+        g.set_next(id, !q);
+        g.add_bad("q_and_next", q); // q is true every odd cycle
+        g
+    }
+
+    #[test]
+    fn bmc_finds_shallow_bug() {
+        let g = toggle();
+        let mut stats = CheckStats::default();
+        match bmc_check(&g, 0, 5, 1_000_000, &mut stats) {
+            BmcOutcome::Falsified(t) => {
+                assert_eq!(t.len(), 2, "q first true in cycle 1");
+                assert!(t.replays_on(&g));
+            }
+            other => panic!("expected falsification, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bmc_min_depth_skips_shallow() {
+        // Force extraction at exactly depth 3 (q true at odd depths).
+        let g = toggle();
+        let mut stats = CheckStats::default();
+        match bmc_check(&g, 3, 3, 1_000_000, &mut stats) {
+            BmcOutcome::Falsified(t) => assert_eq!(t.len(), 4),
+            other => panic!("expected falsification, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bmc_clean_design_reports_none() {
+        let mut g = Aig::new();
+        let (id, q) = g.latch("q", false);
+        g.set_next(id, q);
+        g.add_bad("never", q);
+        let mut stats = CheckStats::default();
+        assert_eq!(
+            bmc_check(&g, 0, 10, 1_000_000, &mut stats),
+            BmcOutcome::NoCounterexample
+        );
+    }
+
+    #[test]
+    fn induction_proves_stuck_latch() {
+        let mut g = Aig::new();
+        let (id, q) = g.latch("q", false);
+        g.set_next(id, q);
+        g.add_bad("never", q);
+        let mut stats = CheckStats::default();
+        match induction_check(&g, 5, true, 1_000_000, &mut stats) {
+            InductionOutcome::Proved(k) => assert_eq!(k, 1),
+            other => panic!("expected proof, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn induction_needs_simple_path_for_counters() {
+        // 3-bit counter that wraps at 6 (never reaches 7): plain induction
+        // fails at small k, simple-path proves it.
+        let mut g = Aig::new();
+        let qs: Vec<_> = (0..3).map(|i| g.latch(format!("c{i}"), false)).collect();
+        let (q0, q1, q2) = (qs[0].1, qs[1].1, qs[2].1);
+        // at5 = q2 & !q1 & q0 (value 5) -> wrap to 0
+        let n01 = g.and(q2, !q1);
+        let at5 = g.and(n01, q0);
+        let mut carry = veridic_aig::Lit::TRUE;
+        let mut nexts = Vec::new();
+        for (_, q) in &qs {
+            let inc = g.xor(*q, carry);
+            carry = g.and(*q, carry);
+            nexts.push(inc);
+        }
+        for (i, (id, _)) in qs.iter().enumerate() {
+            let nx = g.and(nexts[i], !at5);
+            g.set_next(*id, nx);
+        }
+        // bad: value 7
+        let b01 = g.and(q0, q1);
+        let bad = g.and(b01, q2);
+        g.add_bad("seven", bad);
+        let mut stats = CheckStats::default();
+        // With simple path it proves within k <= 8.
+        match induction_check(&g, 8, true, 1_000_000, &mut stats) {
+            InductionOutcome::Proved(_) => {}
+            other => panic!("expected proof with simple-path, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let g = toggle();
+        let mut stats = CheckStats::default();
+        // One conflict is not enough for... actually toggling is easy; use
+        // a pigeonhole-flavoured instance via many latches. Simplest: the
+        // budget applies to the solver as a whole — use 0 conflicts and a
+        // bad needing search.
+        let mut g2 = Aig::new();
+        let ins: Vec<_> = (0..12).map(|i| g2.input(format!("x{i}"))).collect();
+        // bad: exactly-one-ish structure that needs some search: parity
+        let mut parity = veridic_aig::Lit::FALSE;
+        for l in &ins {
+            parity = g2.xor(parity, *l);
+        }
+        let (id, q) = g2.latch("q", false);
+        g2.set_next(id, parity);
+        g2.add_bad("parity_high", q);
+        let _ = g;
+        let out = bmc_check(&g2, 0, 3, 0, &mut stats);
+        // With a zero budget the solver gives up immediately unless the
+        // instance is solved by pure propagation.
+        assert!(
+            matches!(out, BmcOutcome::ResourceOut | BmcOutcome::Falsified(_)),
+            "got {out:?}"
+        );
+    }
+}

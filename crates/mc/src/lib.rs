@@ -1,0 +1,486 @@
+//! # veridic-mc
+//!
+//! Model-checking engines over And-Inverter Graphs:
+//!
+//! * **SAT BMC** — bounded unrolling for fast falsification and
+//!   counterexample extraction (the "commercial tool" role).
+//! * **k-induction** — SAT-based unbounded proof with simple-path
+//!   strengthening.
+//! * **BDD UMC** — forward symbolic reachability with clustered
+//!   transition relations and early quantification (unbounded proof).
+//! * **POBDD UMC** — partitioned-OBDD reachability, the reproduction of
+//!   the paper's in-house engine \[Jain, IWLS 2004\].
+//!
+//! All engines run under **deterministic resource budgets** (BDD node
+//! quotas, SAT conflict quotas, depth limits). Exhausting a budget yields
+//! [`Verdict::ResourceOut`] — the reproducible analogue of the paper's
+//! model-checker "time-out" that motivates divide-and-conquer property
+//! partitioning (Fig. 7).
+//!
+//! Every [`Verdict::Falsified`] trace is **replayed on the AIG simulator**
+//! before being returned; a trace that does not actually violate the
+//! property is a checker bug and panics.
+//!
+//! ```
+//! use veridic_aig::Aig;
+//! use veridic_mc::{check, CheckOptions, Verdict};
+//!
+//! // A latch that is never true: proving `never q` succeeds.
+//! let mut aig = Aig::new();
+//! let (id, q) = aig.latch("q", false);
+//! aig.set_next(id, q);
+//! aig.add_bad("q_high", q);
+//! let verdict = check(&aig, &CheckOptions::default());
+//! assert!(matches!(verdict.verdict, Verdict::Proved { .. }));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bdd_engine;
+mod bmc;
+mod pobdd;
+
+pub use bdd_engine::{bdd_umc, BddEngineOutcome, TransitionSystem};
+pub use bmc::{bmc_check, induction_check, BmcOutcome, InductionOutcome};
+pub use pobdd::pobdd_reach;
+
+use veridic_aig::Aig;
+
+/// A counterexample trace: per-cycle primary-input assignments starting
+/// from the initial state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trace {
+    /// `inputs[k][i]` is input `i`'s value in cycle `k` (indexed like
+    /// [`Aig::inputs`]).
+    pub inputs: Vec<Vec<bool>>,
+    /// Index of the violated bad in [`Aig::bads`].
+    pub bad_index: usize,
+}
+
+impl Trace {
+    /// Length in cycles.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// True if the trace has no cycles.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Replays the trace on `aig`; returns true iff the bad fires in the
+    /// final cycle and every constraint holds in every cycle.
+    pub fn replays_on(&self, aig: &Aig) -> bool {
+        let reports = aig.simulate(&self.inputs);
+        let Some(last) = reports.last() else {
+            return false;
+        };
+        reports.iter().all(|r| r.constraints_ok) && last.bads[self.bad_index]
+    }
+}
+
+/// The verdict of a property check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The property holds on all reachable states.
+    Proved {
+        /// Engine that concluded ("bmc-induction", "bdd-umc", "pobdd-umc").
+        engine: &'static str,
+    },
+    /// The property is violated; a replayed counterexample is attached.
+    Falsified(Trace),
+    /// Every configured engine exhausted its budget.
+    ResourceOut {
+        /// Human-readable account of what ran out.
+        reason: String,
+    },
+}
+
+impl Verdict {
+    /// True for [`Verdict::Proved`].
+    pub fn is_proved(&self) -> bool {
+        matches!(self, Verdict::Proved { .. })
+    }
+
+    /// True for [`Verdict::Falsified`].
+    pub fn is_falsified(&self) -> bool {
+        matches!(self, Verdict::Falsified(_))
+    }
+}
+
+/// Per-check statistics for reporting.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CheckStats {
+    /// Engines attempted, in order, with their outcomes.
+    pub engines_tried: Vec<String>,
+    /// AIG latches after cone-of-influence reduction.
+    pub coi_latches: usize,
+    /// AIG ANDs after COI.
+    pub coi_ands: usize,
+    /// Peak BDD nodes allocated (if a BDD engine ran).
+    pub bdd_nodes: usize,
+    /// Total SAT conflicts (across all SAT calls).
+    pub sat_conflicts: u64,
+    /// Reachability iterations performed by the concluding engine.
+    pub iterations: usize,
+}
+
+/// The result of [`check`]: verdict plus statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckResult {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Statistics.
+    pub stats: CheckStats,
+}
+
+/// Budgets and engine selection for [`check`].
+#[derive(Clone, Debug)]
+pub struct CheckOptions {
+    /// Maximum BMC unrolling depth.
+    pub bmc_depth: usize,
+    /// SAT conflict budget for each SAT engine call.
+    pub sat_conflicts: u64,
+    /// Maximum k for k-induction.
+    pub induction_depth: usize,
+    /// Add simple-path (loop-free) constraints to induction steps.
+    pub simple_path: bool,
+    /// BDD node quota.
+    pub bdd_nodes: usize,
+    /// Maximum forward-reachability iterations.
+    pub max_iterations: usize,
+    /// Number of POBDD window variables (2^k partitions); 0 disables the
+    /// POBDD fallback.
+    pub pobdd_window_vars: u32,
+    /// Skip the SAT engines (BDD-only portfolio).
+    pub bdd_only: bool,
+    /// Skip the BDD engines (SAT-only portfolio).
+    pub sat_only: bool,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            bmc_depth: 30,
+            sat_conflicts: 200_000,
+            // Stereotype properties are k<=3 inductive by construction;
+            // hold-capable integrity properties are not k-inductive for
+            // ANY k (see veridic-core docs) — iterating far past the
+            // inductive horizon only burns quadratic simple-path clauses
+            // before the BDD engines take over.
+            induction_depth: 6,
+            simple_path: true,
+            bdd_nodes: 1 << 22,
+            max_iterations: 10_000,
+            pobdd_window_vars: 2,
+            bdd_only: false,
+            sat_only: false,
+        }
+    }
+}
+
+impl CheckOptions {
+    /// A deliberately tiny budget, used to demonstrate and test the
+    /// resource-out → partition flow of Fig. 7.
+    pub fn tiny_budget() -> Self {
+        CheckOptions {
+            bmc_depth: 4,
+            sat_conflicts: 200,
+            induction_depth: 2,
+            simple_path: false,
+            bdd_nodes: 2_000,
+            max_iterations: 64,
+            pobdd_window_vars: 0,
+            bdd_only: false,
+            sat_only: false,
+        }
+    }
+}
+
+/// Checks every bad of `aig` (each separately; first failure wins) under
+/// the given budgets.
+///
+/// The portfolio per bad: COI reduction → BMC (falsification) →
+/// k-induction (proof) → BDD forward UMC → POBDD UMC. Engines that
+/// exhaust their budget hand over to the next; if all do, the result is
+/// [`Verdict::ResourceOut`].
+///
+/// # Panics
+///
+/// Panics if an engine returns a counterexample that does not replay on
+/// the AIG (a checker bug, never a property of the design).
+pub fn check(aig: &Aig, opts: &CheckOptions) -> CheckResult {
+    let mut stats = CheckStats::default();
+    for bad_index in 0..aig.bads().len() {
+        let result = check_one(aig, bad_index, opts, &mut stats);
+        match result {
+            Verdict::Proved { .. } => continue,
+            other => return CheckResult { verdict: other, stats },
+        }
+    }
+    CheckResult { verdict: Verdict::Proved { engine: "portfolio" }, stats }
+}
+
+/// Checks a single bad (by index into [`Aig::bads`]).
+///
+/// See [`check`] for the portfolio and panics.
+pub fn check_one(
+    aig: &Aig,
+    bad_index: usize,
+    opts: &CheckOptions,
+    stats: &mut CheckStats,
+) -> Verdict {
+    // Cone of influence: bad + all constraints (constraints must keep
+    // their meaning on every path).
+    let bad = aig.bads()[bad_index].lit;
+    let mut roots = vec![bad];
+    roots.extend(aig.constraints().iter().map(|c| c.lit));
+    let coi = aig.extract_coi(&roots);
+    let mut sub = coi.aig;
+    sub.add_bad(aig.bads()[bad_index].name.clone(), coi.roots[0]);
+    for (i, c) in aig.constraints().iter().enumerate() {
+        sub.add_constraint(c.name.clone(), coi.roots[1 + i]);
+    }
+    stats.coi_latches = sub.num_latches();
+    stats.coi_ands = sub.num_ands();
+
+    // Map a trace on the reduced AIG back to the full input space.
+    let expand_trace = |t: Trace| -> Trace {
+        let mut full = vec![vec![false; aig.num_inputs()]; t.inputs.len()];
+        for (old_var, new_var) in &coi.input_map {
+            let old_idx = aig.input_index(*old_var).expect("input var");
+            let new_idx = sub.input_index(*new_var).expect("mapped input var");
+            for k in 0..t.inputs.len() {
+                full[k][old_idx] = t.inputs[k][new_idx];
+            }
+        }
+        Trace { inputs: full, bad_index }
+    };
+
+    let mut reasons: Vec<String> = Vec::new();
+
+    if !opts.bdd_only {
+        match bmc::bmc_check(&sub, 0, opts.bmc_depth, opts.sat_conflicts, stats) {
+            bmc::BmcOutcome::Falsified(t) => {
+                let full = expand_trace(Trace { inputs: t.inputs, bad_index });
+                assert!(full.replays_on(aig), "BMC counterexample failed replay");
+                stats.engines_tried.push("bmc: falsified".into());
+                return Verdict::Falsified(full);
+            }
+            bmc::BmcOutcome::NoCounterexample => {
+                stats
+                    .engines_tried
+                    .push(format!("bmc: clean to depth {}", opts.bmc_depth));
+            }
+            bmc::BmcOutcome::ResourceOut => {
+                stats.engines_tried.push("bmc: resource-out".into());
+                reasons.push(format!("BMC conflict budget ({})", opts.sat_conflicts));
+            }
+        }
+        match bmc::induction_check(
+            &sub,
+            opts.induction_depth,
+            opts.simple_path,
+            opts.sat_conflicts,
+            stats,
+        ) {
+            bmc::InductionOutcome::Proved(k) => {
+                stats.engines_tried.push(format!("induction: proved at k={k}"));
+                return Verdict::Proved { engine: "bmc-induction" };
+            }
+            bmc::InductionOutcome::Unknown => {
+                stats.engines_tried.push("induction: inconclusive".into());
+            }
+            bmc::InductionOutcome::ResourceOut => {
+                stats.engines_tried.push("induction: resource-out".into());
+                reasons.push("induction conflict budget".into());
+            }
+        }
+    }
+
+    if !opts.sat_only {
+        match bdd_engine::bdd_umc(&sub, opts.bdd_nodes, opts.max_iterations, stats) {
+            BddEngineOutcome::Proved => {
+                stats.engines_tried.push("bdd-umc: proved".into());
+                return Verdict::Proved { engine: "bdd-umc" };
+            }
+            BddEngineOutcome::FalsifiedAtDepth(k) => {
+                stats
+                    .engines_tried
+                    .push(format!("bdd-umc: bad reachable at depth {k}"));
+                // Extract the trace with a depth-pinned BMC run.
+                match bmc::bmc_check(&sub, k, k, u64::MAX, stats) {
+                    bmc::BmcOutcome::Falsified(t) => {
+                        let full = expand_trace(Trace { inputs: t.inputs, bad_index });
+                        assert!(full.replays_on(aig), "BDD counterexample failed replay");
+                        return Verdict::Falsified(full);
+                    }
+                    other => panic!(
+                        "BDD engine reported depth-{k} violation but BMC disagrees: {other:?}"
+                    ),
+                }
+            }
+            BddEngineOutcome::ResourceOut => {
+                stats.engines_tried.push("bdd-umc: resource-out".into());
+                reasons.push(format!("BDD node quota ({})", opts.bdd_nodes));
+            }
+        }
+        if opts.pobdd_window_vars > 0 {
+            match pobdd::pobdd_reach(
+                &sub,
+                opts.pobdd_window_vars,
+                opts.bdd_nodes,
+                opts.max_iterations,
+                stats,
+            ) {
+                BddEngineOutcome::Proved => {
+                    stats.engines_tried.push("pobdd-umc: proved".into());
+                    return Verdict::Proved { engine: "pobdd-umc" };
+                }
+                BddEngineOutcome::FalsifiedAtDepth(k) => {
+                    stats.engines_tried.push(format!("pobdd-umc: bad at depth {k}"));
+                    match bmc::bmc_check(&sub, k, k, u64::MAX, stats) {
+                        bmc::BmcOutcome::Falsified(t) => {
+                            let full = expand_trace(Trace { inputs: t.inputs, bad_index });
+                            assert!(full.replays_on(aig), "POBDD counterexample failed replay");
+                            return Verdict::Falsified(full);
+                        }
+                        other => panic!(
+                            "POBDD reported depth-{k} violation but BMC disagrees: {other:?}"
+                        ),
+                    }
+                }
+                BddEngineOutcome::ResourceOut => {
+                    stats.engines_tried.push("pobdd-umc: resource-out".into());
+                    reasons.push("POBDD node quota".into());
+                }
+            }
+        }
+    }
+
+    Verdict::ResourceOut {
+        reason: if reasons.is_empty() {
+            "no engine concluded within its budget".to_string()
+        } else {
+            reasons.join("; ")
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veridic_aig::Aig;
+
+    /// n-bit counter with a bad at a given count value.
+    fn counter_aig(bits: u32, bad_at: u64) -> Aig {
+        let mut g = Aig::new();
+        let qs: Vec<_> = (0..bits).map(|i| g.latch(format!("c{i}"), false)).collect();
+        let mut carry = veridic_aig::Lit::TRUE;
+        for (id, q) in &qs {
+            let next = g.xor(*q, carry);
+            carry = g.and(*q, carry);
+            g.set_next(*id, next);
+        }
+        let hit: Vec<_> = qs
+            .iter()
+            .enumerate()
+            .map(|(i, (_, q))| if bad_at >> i & 1 == 1 { *q } else { !*q })
+            .collect();
+        let bad = g.and_many(hit);
+        g.add_bad(format!("count_is_{bad_at}"), bad);
+        g
+    }
+
+    #[test]
+    fn counter_reaches_its_values() {
+        // 4-bit counter reaches 9 at depth 9.
+        let g = counter_aig(4, 9);
+        let r = check(&g, &CheckOptions::default());
+        match r.verdict {
+            Verdict::Falsified(t) => assert_eq!(t.len(), 10, "count 9 first true in cycle 9"),
+            other => panic!("expected falsification, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unreachable_bad_is_proved() {
+        let mut g = Aig::new();
+        let (l0, q0) = g.latch("b0", false);
+        g.set_next(l0, !q0);
+        let (l1, q1) = g.latch("b1", false);
+        let n1 = g.xor(q1, q0);
+        g.set_next(l1, n1);
+        let (l2, q2) = g.latch("stuck", false);
+        g.set_next(l2, q2); // stays 0
+        g.add_bad("stuck_high", q2);
+        let r = check(&g, &CheckOptions::default());
+        assert!(matches!(r.verdict, Verdict::Proved { .. }), "{r:?}");
+    }
+
+    #[test]
+    fn constraints_block_counterexamples() {
+        let mut g = Aig::new();
+        let a = g.input("a");
+        let (id, q) = g.latch("q", false);
+        g.set_next(id, a);
+        g.add_bad("q_high", q);
+        g.add_constraint("a_low", !a);
+        let r = check(&g, &CheckOptions::default());
+        assert!(matches!(r.verdict, Verdict::Proved { .. }), "{r:?}");
+        // Without the constraint it must be falsified at depth 1.
+        let mut g2 = Aig::new();
+        let a = g2.input("a");
+        let (id, q) = g2.latch("q", false);
+        g2.set_next(id, a);
+        g2.add_bad("q_high", q);
+        let r2 = check(&g2, &CheckOptions::default());
+        match r2.verdict {
+            Verdict::Falsified(t) => {
+                assert_eq!(t.len(), 2);
+                assert!(t.inputs[0][0], "input must be driven high in cycle 0");
+            }
+            other => panic!("expected falsification, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tiny_budget_resources_out_on_wide_counter() {
+        // A 24-bit counter needs 2^24-1 steps to reach all-ones: both BMC
+        // (depth 4) and the BDD engine (64 iterations) run out.
+        let g = counter_aig(24, (1 << 24) - 1);
+        let r = check(&g, &CheckOptions::tiny_budget());
+        assert!(matches!(r.verdict, Verdict::ResourceOut { .. }), "{r:?}");
+    }
+
+    #[test]
+    fn engines_agree_on_verdicts() {
+        for bad_at in [0u64, 3, 7, 12] {
+            let g = counter_aig(4, bad_at);
+            let sat = check(&g, &CheckOptions { sat_only: true, ..Default::default() });
+            let bdd = check(&g, &CheckOptions { bdd_only: true, ..Default::default() });
+            match (&sat.verdict, &bdd.verdict) {
+                (Verdict::Falsified(a), Verdict::Falsified(b)) => {
+                    assert_eq!(a.len(), b.len(), "cex depth must agree at bad_at={bad_at}");
+                }
+                (a, b) => panic!("disagreement at bad_at={bad_at}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn multi_bad_check_reports_first_failure() {
+        let mut g = counter_aig(3, 7);
+        // Add a second, unreachable bad: count 7 with bit pattern... use a
+        // stuck latch.
+        let (l, q) = g.latch("never", false);
+        g.set_next(l, q);
+        g.add_bad("never_high", q);
+        let r = check(&g, &CheckOptions::default());
+        match r.verdict {
+            Verdict::Falsified(t) => assert_eq!(t.bad_index, 0),
+            other => panic!("expected falsification, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Partitioned-OBDD reachability — the paper's in-house engine
+//! \[Jain, IWLS 2004\]: the state space is split by window functions
+//! (cubes over chosen state variables) and reachability fixpoints run per
+//! partition with cross-partition frontier exchange. Each partition's
+//! reached-set BDD stays smaller than the monolithic one, postponing node
+//! blow-up.
+
+use crate::bdd_engine::{BddEngineOutcome, TransitionSystem};
+use crate::CheckStats;
+use veridic_aig::Aig;
+use veridic_bdd::{NodeId, OutOfNodes};
+
+/// Partitioned forward reachability with `window_vars` splitting
+/// variables (2^k windows).
+///
+/// Splitting variables are the current-state variables with the highest
+/// occurrence count across transition-relation clusters — a cheap proxy
+/// for "most entangled", which is where partitioning pays off.
+pub fn pobdd_reach(
+    aig: &Aig,
+    window_vars: u32,
+    node_quota: usize,
+    max_iterations: usize,
+    stats: &mut CheckStats,
+) -> BddEngineOutcome {
+    let mut ts = match TransitionSystem::build(aig, node_quota) {
+        Ok(ts) => ts,
+        Err(_) => return BddEngineOutcome::ResourceOut,
+    };
+    let outcome = run(&mut ts, window_vars, max_iterations, stats);
+    stats.bdd_nodes = stats.bdd_nodes.max(ts.mgr.num_nodes());
+    outcome.unwrap_or(BddEngineOutcome::ResourceOut)
+}
+
+fn run(
+    ts: &mut TransitionSystem,
+    window_vars: u32,
+    max_iterations: usize,
+    stats: &mut CheckStats,
+) -> Result<BddEngineOutcome, OutOfNodes> {
+    let split = choose_split_vars(ts, window_vars);
+    let k = split.len() as u32;
+    let nparts = 1usize << k;
+
+    // Window cubes: one per assignment of the split variables.
+    let mut windows = Vec::with_capacity(nparts);
+    for w in 0..nparts {
+        let mut cube = NodeId::TRUE;
+        for (bit, var) in split.iter().enumerate() {
+            let lit = if w >> bit & 1 == 1 {
+                ts.mgr.var(*var)?
+            } else {
+                ts.mgr.nvar(*var)?
+            };
+            cube = ts.mgr.and(cube, lit)?;
+        }
+        windows.push(cube);
+    }
+
+    // Per-partition reached sets and frontiers.
+    let mut reached = vec![NodeId::FALSE; nparts];
+    let mut frontier = vec![NodeId::FALSE; nparts];
+    for w in 0..nparts {
+        let part = ts.mgr.and(ts.init, windows[w])?;
+        reached[w] = part;
+        frontier[w] = part;
+        if part != NodeId::FALSE && ts.intersects_bad(part)? {
+            return Ok(BddEngineOutcome::FalsifiedAtDepth(0));
+        }
+    }
+
+    // Synchronous rounds: depth is global, so falsification depths agree
+    // with the monolithic engine.
+    for depth in 1..=max_iterations {
+        stats.iterations = depth;
+        let mut new_frontier = vec![NodeId::FALSE; nparts];
+        let mut any_new = false;
+        for w in 0..nparts {
+            if frontier[w] == NodeId::FALSE {
+                continue;
+            }
+            let img = ts.image(frontier[w])?;
+            // Distribute the image across windows.
+            for (l, window) in windows.iter().enumerate() {
+                let part = ts.mgr.and(img, *window)?;
+                if part == NodeId::FALSE {
+                    continue;
+                }
+                let not_reached = ts.mgr.not(reached[l])?;
+                let fresh = ts.mgr.and(part, not_reached)?;
+                if fresh == NodeId::FALSE {
+                    continue;
+                }
+                if ts.intersects_bad(fresh)? {
+                    return Ok(BddEngineOutcome::FalsifiedAtDepth(depth));
+                }
+                reached[l] = ts.mgr.or(reached[l], fresh)?;
+                new_frontier[l] = ts.mgr.or(new_frontier[l], fresh)?;
+                any_new = true;
+            }
+        }
+        if !any_new {
+            return Ok(BddEngineOutcome::Proved);
+        }
+        frontier = new_frontier;
+    }
+    Ok(BddEngineOutcome::ResourceOut)
+}
+
+/// Picks the current-state variables that occur in the most clusters.
+fn choose_split_vars(ts: &TransitionSystem, want: u32) -> Vec<u32> {
+    let n = ts.num_latches() as u32;
+    let mut counts: Vec<(u32, usize)> = (0..n).map(|i| (2 * i, 0)).collect();
+    for c in &ts.clusters {
+        for v in ts.mgr.support(*c) {
+            if v % 2 == 0 && v < 2 * n {
+                counts[(v / 2) as usize].1 += 1;
+            }
+        }
+    }
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    counts
+        .into_iter()
+        .take(want.min(n) as usize)
+        .map(|(v, _)| v)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veridic_aig::{Aig, Lit};
+    use crate::bdd_engine::bdd_umc;
+
+    fn counter_with_bad(bits: u32, bad_at: u64) -> Aig {
+        let mut g = Aig::new();
+        let qs: Vec<_> = (0..bits).map(|i| g.latch(format!("c{i}"), false)).collect();
+        let mut carry = Lit::TRUE;
+        for (id, q) in &qs {
+            let next = g.xor(*q, carry);
+            carry = g.and(*q, carry);
+            g.set_next(*id, next);
+        }
+        let hit: Vec<_> = qs
+            .iter()
+            .enumerate()
+            .map(|(i, (_, q))| if bad_at >> i & 1 == 1 { *q } else { !*q })
+            .collect();
+        let bad = g.and_many(hit);
+        g.add_bad("hit", bad);
+        g
+    }
+
+    #[test]
+    fn pobdd_agrees_with_monolithic_on_depth() {
+        for bad_at in [1u64, 6, 11] {
+            let g = counter_with_bad(4, bad_at);
+            let mut s1 = CheckStats::default();
+            let mut s2 = CheckStats::default();
+            let mono = bdd_umc(&g, 1 << 20, 1000, &mut s1);
+            let part = pobdd_reach(&g, 2, 1 << 20, 1000, &mut s2);
+            assert_eq!(mono, part, "bad_at={bad_at}");
+        }
+    }
+
+    #[test]
+    fn pobdd_proves_unreachable() {
+        let mut g = counter_with_bad(4, 3);
+        // Replace bad with an unreachable one: stuck latch.
+        let (l, s) = g.latch("stuck", false);
+        g.set_next(l, s);
+        let mut g2 = Aig::new();
+        // Rebuild cleanly: counter + stuck latch bad.
+        let qs: Vec<_> = (0..4).map(|i| g2.latch(format!("c{i}"), false)).collect();
+        let mut carry = Lit::TRUE;
+        for (id, q) in &qs {
+            let next = g2.xor(*q, carry);
+            carry = g2.and(*q, carry);
+            g2.set_next(*id, next);
+        }
+        let (l2, s2) = g2.latch("stuck", false);
+        g2.set_next(l2, s2);
+        g2.add_bad("never", s2);
+        let _ = (g, l, s);
+        let mut stats = CheckStats::default();
+        assert_eq!(
+            pobdd_reach(&g2, 2, 1 << 20, 1000, &mut stats),
+            BddEngineOutcome::Proved
+        );
+    }
+
+    #[test]
+    fn window_count_exceeding_latches_is_clamped() {
+        let g = counter_with_bad(2, 3);
+        let mut stats = CheckStats::default();
+        // 6 window vars requested, only 2 latches exist.
+        assert_eq!(
+            pobdd_reach(&g, 6, 1 << 20, 1000, &mut stats),
+            BddEngineOutcome::FalsifiedAtDepth(3)
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! # veridic-netlist
+//!
+//! Word-level synthesizable RTL intermediate representation: the common
+//! substrate under the Verilog frontend, the PSL property compiler, the
+//! Verifiable-RTL transform, the logic simulator and the formal engines.
+//!
+//! The IR models a single synchronous clock domain with asynchronous-reset
+//! D registers, continuous assignments over word-level expressions, and
+//! module hierarchy — exactly the "Verifiable RTL" shape the paper's
+//! methodology requires of leaf modules.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use veridic_netlist::{Module, PortDir, Expr, Value};
+//!
+//! // A 4-bit odd-parity checker: he = ~(^data)
+//! let mut m = Module::new("parity_check");
+//! let data = m.add_port("data", PortDir::Input, 4);
+//! let he = m.add_port("he", PortDir::Output, 1);
+//! let d = m.sig(data);
+//! let par = m.arena.add(Expr::RedXor(d));
+//! let bad = m.arena.add(Expr::Not(par));
+//! m.assign(he, bad);
+//! m.validate()?;
+//!
+//! // Bit-blast to an AIG for the formal engines:
+//! let lowered = m.to_aig()?;
+//! assert_eq!(lowered.aig.num_inputs(), 4);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod design;
+mod expr;
+mod lower;
+mod module;
+mod validate;
+mod value;
+
+pub use design::{Design, DesignError};
+pub use expr::{Expr, ExprArena, ExprId, NetId};
+pub use lower::LoweredAig;
+pub use module::{Conn, Instance, Module, Net, Port, PortDir, Reg};
+pub use validate::{Driver, ValidateError};
+pub use value::Value;
+
+/// Re-export of the AIG crate for downstream convenience.
+pub use veridic_aig as aig;

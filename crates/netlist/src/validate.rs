@@ -1,0 +1,305 @@
+//! Structural validation and combinational scheduling.
+//!
+//! [`Module::validate`] checks the single-driver rule and the absence of
+//! combinational cycles; [`Module::comb_schedule`] returns the topological
+//! evaluation order used by the simulator and the bit-blaster.
+
+use crate::expr::NetId;
+use crate::module::{Conn, Module};
+use std::collections::{BTreeMap, BTreeSet};
+use std::error::Error;
+use std::fmt;
+
+/// Structural rule violations found by [`Module::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A net has more than one driver.
+    MultipleDrivers {
+        /// The multiply-driven net's name.
+        net: String,
+    },
+    /// A non-input net is read but never driven.
+    Undriven {
+        /// The floating net's name.
+        net: String,
+    },
+    /// An input port is driven inside the module.
+    DrivenInput {
+        /// The port name.
+        net: String,
+    },
+    /// Combinational assignments form a cycle.
+    CombinationalCycle {
+        /// Names of the nets on the cycle.
+        nets: Vec<String>,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::MultipleDrivers { net } => write!(f, "net {net} has multiple drivers"),
+            ValidateError::Undriven { net } => write!(f, "net {net} is read but never driven"),
+            ValidateError::DrivenInput { net } => write!(f, "input port {net} is driven internally"),
+            ValidateError::CombinationalCycle { nets } => {
+                write!(f, "combinational cycle through: {}", nets.join(" -> "))
+            }
+        }
+    }
+}
+
+impl Error for ValidateError {}
+
+/// How a net is driven, as discovered by validation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Driver {
+    /// Module input port.
+    Input,
+    /// Continuous assignment (index into `assigns`).
+    Assign(usize),
+    /// Register output (index into `regs`).
+    Reg(usize),
+    /// Child instance output (index into `instances`).
+    InstanceOut(usize),
+}
+
+impl Module {
+    /// Computes the driver of every net.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a net has multiple drivers or an input port is
+    /// internally driven.
+    pub fn drivers(&self) -> Result<BTreeMap<NetId, Driver>, ValidateError> {
+        let mut map: BTreeMap<NetId, Driver> = BTreeMap::new();
+        let set = |net: NetId, d: Driver, m: &mut BTreeMap<NetId, Driver>| {
+            if m.insert(net, d).is_some() {
+                return Err(ValidateError::MultipleDrivers { net: self.net(net).name.clone() });
+            }
+            Ok(())
+        };
+        for p in self.inputs() {
+            set(p.net, Driver::Input, &mut map)?;
+        }
+        for (i, (net, _)) in self.assigns.iter().enumerate() {
+            set(*net, Driver::Assign(i), &mut map)?;
+        }
+        for (i, r) in self.regs.iter().enumerate() {
+            set(r.q, Driver::Reg(i), &mut map)?;
+        }
+        for (i, inst) in self.instances.iter().enumerate() {
+            for conn in inst.conns.values() {
+                if let Conn::Out(n) = conn {
+                    set(*n, Driver::InstanceOut(i), &mut map)?;
+                }
+            }
+        }
+        for p in self.inputs() {
+            if !matches!(map.get(&p.net), Some(Driver::Input)) {
+                return Err(ValidateError::DrivenInput { net: p.name.clone() });
+            }
+        }
+        Ok(map)
+    }
+
+    /// Validates structure: single drivers, no floating reads, no
+    /// combinational cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidateError`] found.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        let drivers = self.drivers()?;
+        // Every net that is *read* must be driven. Reads come from assign
+        // rhs, reg next-state, instance input expressions, output ports.
+        let mut read: BTreeSet<NetId> = BTreeSet::new();
+        for (_, e) in &self.assigns {
+            read.extend(self.arena.support(*e));
+        }
+        for r in &self.regs {
+            read.extend(self.arena.support(r.next));
+        }
+        for inst in &self.instances {
+            for conn in inst.conns.values() {
+                if let Conn::In(e) = conn {
+                    read.extend(self.arena.support(*e));
+                }
+            }
+        }
+        for p in self.outputs() {
+            read.insert(p.net);
+        }
+        for n in read {
+            if !drivers.contains_key(&n) {
+                return Err(ValidateError::Undriven { net: self.net(n).name.clone() });
+            }
+        }
+        self.comb_schedule().map(|_| ())
+    }
+
+    /// Returns the indices of `assigns` in dependency order: an assignment
+    /// appears after every assignment whose target it reads. Register
+    /// outputs and inputs are sources and impose no ordering.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError::CombinationalCycle`] if the assignments are
+    /// cyclic.
+    pub fn comb_schedule(&self) -> Result<Vec<usize>, ValidateError> {
+        // net -> assign index driving it
+        let mut driver_of: BTreeMap<NetId, usize> = BTreeMap::new();
+        for (i, (net, _)) in self.assigns.iter().enumerate() {
+            driver_of.insert(*net, i);
+        }
+        // DFS with colouring.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Colour {
+            White,
+            Grey,
+            Black,
+        }
+        let mut colour = vec![Colour::White; self.assigns.len()];
+        let mut order = Vec::with_capacity(self.assigns.len());
+        // Iterative DFS to avoid stack overflow on deep chains.
+        for start in 0..self.assigns.len() {
+            if colour[start] != Colour::White {
+                continue;
+            }
+            let mut stack: Vec<(usize, bool)> = vec![(start, false)];
+            while let Some((i, expanded)) = stack.pop() {
+                if expanded {
+                    colour[i] = Colour::Black;
+                    order.push(i);
+                    continue;
+                }
+                if colour[i] == Colour::Black {
+                    continue;
+                }
+                if colour[i] == Colour::Grey {
+                    continue;
+                }
+                colour[i] = Colour::Grey;
+                stack.push((i, true));
+                for dep_net in self.arena.support(self.assigns[i].1) {
+                    if let Some(&j) = driver_of.get(&dep_net) {
+                        match colour[j] {
+                            Colour::White => stack.push((j, false)),
+                            Colour::Grey => {
+                                let nets = vec![
+                                    self.net(self.assigns[j].0).name.clone(),
+                                    self.net(self.assigns[i].0).name.clone(),
+                                ];
+                                return Err(ValidateError::CombinationalCycle { nets });
+                            }
+                            Colour::Black => {}
+                        }
+                    }
+                }
+            }
+        }
+        Ok(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::module::PortDir;
+    use crate::value::Value;
+
+    #[test]
+    fn clean_module_validates() {
+        let mut m = Module::new("m");
+        let a = m.add_port("a", PortDir::Input, 4);
+        let y = m.add_port("y", PortDir::Output, 4);
+        let w = m.add_net("w", 4);
+        let ea = m.sig(a);
+        let na = m.arena.add(Expr::Not(ea));
+        m.assign(w, na);
+        let ew = m.sig(w);
+        m.assign(y, ew);
+        assert!(m.validate().is_ok());
+        let sched = m.comb_schedule().unwrap();
+        // w's assign (index 0) must come before y's (index 1).
+        assert_eq!(sched, vec![0, 1]);
+    }
+
+    #[test]
+    fn double_drive_detected() {
+        let mut m = Module::new("m");
+        let y = m.add_port("y", PortDir::Output, 1);
+        let t = m.lit(1, 0);
+        let u = m.lit(1, 1);
+        m.assign(y, t);
+        m.assign(y, u);
+        assert!(matches!(m.validate(), Err(ValidateError::MultipleDrivers { .. })));
+    }
+
+    #[test]
+    fn undriven_read_detected() {
+        let mut m = Module::new("m");
+        let y = m.add_port("y", PortDir::Output, 1);
+        let ghost = m.add_net("ghost", 1);
+        let eg = m.sig(ghost);
+        m.assign(y, eg);
+        match m.validate() {
+            Err(ValidateError::Undriven { net }) => assert_eq!(net, "ghost"),
+            other => panic!("expected Undriven, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comb_cycle_detected() {
+        let mut m = Module::new("m");
+        let a = m.add_net("a", 1);
+        let b = m.add_net("b", 1);
+        let ea = m.sig(a);
+        let eb = m.sig(b);
+        let na = m.arena.add(Expr::Not(ea));
+        let nb = m.arena.add(Expr::Not(eb));
+        m.assign(b, na);
+        m.assign(a, nb);
+        assert!(matches!(
+            m.comb_schedule(),
+            Err(ValidateError::CombinationalCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn register_breaks_cycle() {
+        // q -> next(q) is fine: the register is a sequential element.
+        let mut m = Module::new("m");
+        let q = m.add_net("q", 4);
+        let one = m.lit(4, 1);
+        let eq_ = m.sig(q);
+        let nxt = m.arena.add(Expr::Add(eq_, one));
+        m.add_reg(q, nxt, Value::from_u64(4, 0));
+        let y = m.add_port("y", PortDir::Output, 4);
+        let eq2 = m.sig(q);
+        m.assign(y, eq2);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn driven_input_detected() {
+        let mut m = Module::new("m");
+        let a = m.add_port("a", PortDir::Input, 1);
+        let t = m.lit(1, 0);
+        m.assign(a, t);
+        assert!(matches!(m.validate(), Err(ValidateError::MultipleDrivers { .. })));
+    }
+
+    #[test]
+    fn instance_output_is_a_driver() {
+        use crate::module::Instance;
+        use std::collections::BTreeMap;
+        let mut m = Module::new("m");
+        let y = m.add_port("y", PortDir::Output, 1);
+        let mut conns = BTreeMap::new();
+        conns.insert("o".to_string(), Conn::Out(y));
+        m.add_instance(Instance { module: "sub".into(), name: "u".into(), conns });
+        let drivers = m.drivers().unwrap();
+        assert_eq!(drivers.get(&y), Some(&Driver::InstanceOut(0)));
+    }
+}

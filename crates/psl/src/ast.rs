@@ -1,0 +1,93 @@
+//! PSL abstract syntax: vunits, directives and the temporal layer.
+
+/// A PSL verification unit bound to a module, e.g.
+/// `vunit M_edetect (M) { ... }`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VUnit {
+    /// The vunit's name.
+    pub name: String,
+    /// The module the vunit binds to.
+    pub module: String,
+    /// Named property declarations, in order.
+    pub properties: Vec<(String, Prop)>,
+    /// Verification directives, in order.
+    pub directives: Vec<Directive>,
+}
+
+/// A verification directive.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Directive {
+    /// Kind keyword.
+    pub kind: DirectiveKind,
+    /// The property: a reference to a declared name or an inline property.
+    pub prop: Prop,
+    /// Label for reporting: the referenced name, or `<kind>_<index>`.
+    pub label: String,
+}
+
+/// Directive kinds. `restrict` behaves as `assume` during model checking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DirectiveKind {
+    /// The property must hold; model check it.
+    Assert,
+    /// The property constrains the environment.
+    Assume,
+    /// Like assume (input-space restriction).
+    Restrict,
+}
+
+/// The temporal (foundation language) layer — the safety subset used by
+/// the paper's three stereotype properties plus weak `until`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Prop {
+    /// `always p`
+    Always(Box<Prop>),
+    /// `never b` (boolean argument; a bare name resolves at compile time)
+    Never(Box<Prop>),
+    /// `next p` / `next[k] p`
+    Next(u32, Box<Prop>),
+    /// `b -> p`
+    Implies(BExpr, Box<Prop>),
+    /// `b1 until b2` (weak)
+    Until(BExpr, BExpr),
+    /// `p abort b` — obligation cancelled when `b` holds.
+    Abort(Box<Prop>, BExpr),
+    /// Conjunction of properties.
+    And(Box<Prop>, Box<Prop>),
+    /// Boolean layer expression.
+    Bool(BExpr),
+    /// Reference to a named property in the same vunit.
+    Ref(String),
+}
+
+/// The boolean layer: HDL expressions over the bound module's nets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BExpr {
+    /// Net reference.
+    Ident(String),
+    /// Bit select `x[i]`.
+    Index(String, u32),
+    /// Part select `x[msb:lsb]`.
+    Range(String, u32, u32),
+    /// Sized constant.
+    Const(u32, u64),
+    /// `!b` / `~b` (logical and bitwise negation coincide at 1 bit; wider
+    /// operands are reduced first for `!`).
+    Not(Box<BExpr>),
+    /// Reduction XOR `^x` (parity — the workhorse of the paper).
+    RedXor(Box<BExpr>),
+    /// Reduction AND `&x`.
+    RedAnd(Box<BExpr>),
+    /// Reduction OR `|x`.
+    RedOr(Box<BExpr>),
+    /// Bitwise/logical AND.
+    And(Box<BExpr>, Box<BExpr>),
+    /// Bitwise/logical OR.
+    Or(Box<BExpr>, Box<BExpr>),
+    /// Bitwise XOR.
+    Xor(Box<BExpr>, Box<BExpr>),
+    /// Equality.
+    Eq(Box<BExpr>, Box<BExpr>),
+    /// Inequality.
+    Ne(Box<BExpr>, Box<BExpr>),
+}

@@ -1,0 +1,40 @@
+//! # veridic-psl
+//!
+//! A Property Specification Language (PSL) frontend for the safety subset
+//! used by the paper's data-integrity methodology: `vunit` binding,
+//! `property` declarations, `assert`/`assume`/`restrict` directives, and
+//! the temporal operators `always`, `never`, `next[k]`, `->`, weak
+//! `until` and `abort` over a Verilog-flavoured boolean layer (including
+//! the parity reduction `^x` that carries the whole methodology).
+//!
+//! Properties compile to *monitor circuits*: each directive becomes a
+//! 1-bit fail net woven into a copy of the bound module, so every formal
+//! engine (BDD, POBDD, SAT) checks the same uniform representation:
+//! `never fail` under invariant constraints.
+//!
+//! ```
+//! use veridic_psl::{parse_psl, compile_vunit};
+//! use veridic_netlist::{Module, PortDir, Expr};
+//!
+//! let mut m = Module::new("M");
+//! let he = m.add_port("HE", PortDir::Input, 1);
+//! let y = m.add_port("y", PortDir::Output, 1);
+//! let s = m.sig(he);
+//! m.assign(y, s);
+//!
+//! let units = parse_psl("vunit M_check (M) { assert never (HE); }")?;
+//! let compiled = compile_vunit(&units[0], &m)?;
+//! assert_eq!(compiled.asserts.len(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod compile;
+mod parser;
+
+pub use ast::{BExpr, Directive, DirectiveKind, Prop, VUnit};
+pub use compile::{compile_vunit, CompiledVUnit, PslCompileError};
+pub use parser::{parse_psl, PslParseError};

@@ -1,0 +1,163 @@
+//! Abstract syntax tree for the supported Verilog subset.
+
+/// A parsed source file: an ordered list of modules.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SourceFile {
+    /// Modules in declaration order.
+    pub modules: Vec<ModuleDecl>,
+}
+
+/// A `module ... endmodule` declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModuleDecl {
+    /// Module name.
+    pub name: String,
+    /// Ports in header order.
+    pub ports: Vec<PortDecl>,
+    /// Net declarations (`wire`/`reg` including non-ANSI port bodies).
+    pub nets: Vec<NetDecl>,
+    /// `localparam`/`parameter` constants.
+    pub params: Vec<(String, AstExpr)>,
+    /// Continuous assignments.
+    pub assigns: Vec<(Target, AstExpr)>,
+    /// Always blocks.
+    pub always: Vec<AlwaysBlock>,
+    /// Module instantiations.
+    pub instances: Vec<InstanceDecl>,
+}
+
+/// Direction keyword of a port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dir {
+    /// `input`
+    Input,
+    /// `output`
+    Output,
+}
+
+/// A port as written in the header (ANSI) or body (non-ANSI).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PortDecl {
+    /// Port name.
+    pub name: String,
+    /// Direction, if declared in the header (ANSI style).
+    pub dir: Option<Dir>,
+    /// Range, if declared in the header.
+    pub range: Option<(AstExpr, AstExpr)>,
+}
+
+/// Declared net kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetKind {
+    /// `wire`
+    Wire,
+    /// `reg`
+    Reg,
+    /// `input`/`output` body declarations (non-ANSI ports).
+    PortDir(Dir),
+}
+
+/// A `wire`/`reg`/body-port declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetDecl {
+    /// Kind keyword.
+    pub kind: NetKind,
+    /// Declared `[msb:lsb]` range, if any (1-bit otherwise).
+    pub range: Option<(AstExpr, AstExpr)>,
+    /// Declared names.
+    pub names: Vec<String>,
+}
+
+/// Assignment target: identifier with optional bit/part select, or concat.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Target {
+    /// Whole identifier.
+    Ident(String),
+    /// `x[i]` or `x[msb:lsb]` with constant bounds.
+    Slice(String, AstExpr, AstExpr),
+    /// `{a, b, c}` concatenation of targets (MSB first).
+    Concat(Vec<Target>),
+}
+
+/// An `always` block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AlwaysBlock {
+    /// Sensitivity.
+    pub kind: AlwaysKind,
+    /// Body statement.
+    pub body: Stmt,
+    /// Source line (diagnostics).
+    pub line: u32,
+}
+
+/// Sensitivity list classification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AlwaysKind {
+    /// `always @(posedge clk)` or `... or posedge rst)` — clocked.
+    Clocked {
+        /// Clock signal name.
+        clock: String,
+        /// Asynchronous reset signal name, if present.
+        reset: Option<String>,
+    },
+    /// `always @(*)` or an explicit signal list — combinational.
+    Comb,
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// `begin ... end`
+    Block(Vec<Stmt>),
+    /// `if (c) s [else s]`
+    If(AstExpr, Box<Stmt>, Option<Box<Stmt>>),
+    /// `case (sel) items [default] endcase`
+    Case {
+        /// Scrutinee.
+        sel: AstExpr,
+        /// `(labels, body)` arms.
+        items: Vec<(Vec<AstExpr>, Stmt)>,
+        /// `default:` arm.
+        default: Option<Box<Stmt>>,
+    },
+    /// Non-blocking `q <= e;`
+    NonBlocking(Target, AstExpr),
+    /// Blocking `x = e;`
+    Blocking(Target, AstExpr),
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AstExpr {
+    /// Identifier reference.
+    Ident(String),
+    /// Unsized number (width inferred from context).
+    Number(u64),
+    /// Sized literal `(width, value)`.
+    Sized(u32, u64),
+    /// Unary operator.
+    Unary(&'static str, Box<AstExpr>),
+    /// Binary operator.
+    Binary(&'static str, Box<AstExpr>, Box<AstExpr>),
+    /// `c ? t : e`
+    Ternary(Box<AstExpr>, Box<AstExpr>, Box<AstExpr>),
+    /// `{a, b}` (MSB first).
+    Concat(Vec<AstExpr>),
+    /// `{n{e}}`
+    Repeat(Box<AstExpr>, Box<AstExpr>),
+    /// `x[i]`
+    Index(Box<AstExpr>, Box<AstExpr>),
+    /// `x[msb:lsb]`
+    Range(Box<AstExpr>, Box<AstExpr>, Box<AstExpr>),
+}
+
+/// A module instantiation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InstanceDecl {
+    /// Instantiated module name.
+    pub module: String,
+    /// Instance name.
+    pub name: String,
+    /// Named connections `.port(expr)`; `None` expr means unconnected `.p()`.
+    pub conns: Vec<(String, Option<AstExpr>)>,
+}

@@ -1,0 +1,78 @@
+//! Bug hunt: formal verification vs. logic simulation on the seven
+//! seeded Table-3 bugs.
+//!
+//! For each bug, runs (a) the formal campaign on the hosting module and
+//! (b) a spec-compliant constrained-random testbench, and reports who
+//! finds it and how fast — reproducing the paper's observation that four
+//! of the seven bugs are hard or impossible for simulation.
+//!
+//! Run with: `cargo run --release --example bug_hunt`
+
+use std::time::Instant;
+use veridic::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let chip = Chip::generate(&ChipConfig { scale: Scale::Small, with_bugs: true });
+    println!("{:<5} {:<28} {:<10} {:>14} {:>16}", "Bug", "Property type", "Formal", "Formal time", "Sim latency");
+    for (module_name, bug) in chip.bugs() {
+        let module = chip.design().module(&module_name).expect("module exists");
+
+        // --- Formal: transform, generate, check. ---
+        let t0 = Instant::now();
+        let vm = make_verifiable(module)?;
+        let vunits = generate_all(&vm)?;
+        let mut formal: Option<(String, usize)> = None;
+        'outer: for (genu, compiled) in &vunits {
+            if genu.ptype != bug.property_type() {
+                continue;
+            }
+            let lowered = compiled.module.to_aig()?;
+            let mut aig = lowered.aig.clone();
+            for (label, net) in &compiled.asserts {
+                aig.add_bad(label.clone(), lowered.bit(*net, 0));
+            }
+            for (label, net) in &compiled.assumes {
+                aig.add_constraint(label.clone(), !lowered.bit(*net, 0));
+            }
+            for (idx, (label, _)) in compiled.asserts.iter().enumerate() {
+                let mut stats = CheckStats::default();
+                if let Verdict::Falsified(trace) =
+                    check_one(&aig, idx, &CheckOptions::default(), &mut stats)
+                {
+                    formal = Some((label.clone(), trace.len()));
+                    break 'outer;
+                }
+            }
+        }
+        let formal_time = t0.elapsed();
+
+        // --- Simulation: spec-compliant random scenarios. ---
+        let mut sim = Simulator::new(module)?;
+        let mut stim = SpecCompliant::new(0xB0B + bug as u64);
+        let sim_hit = sim
+            .run_with(&mut stim, 100_000, |s| observe_symptom(s))?
+            .map(|(cycle, symptom)| (cycle, symptom));
+
+        let formal_str = match &formal {
+            Some((label, len)) => format!("cex@{len} ({label})"),
+            None => "missed".to_string(),
+        };
+        let sim_str = match sim_hit {
+            Some((cycle, sym)) => format!("{cycle} cycles ({sym})"),
+            None => "NOT FOUND in 100k".to_string(),
+        };
+        println!(
+            "{:<5} {:<28} {:<10} {:>12?} {:>20}",
+            bug.to_string(),
+            bug.property_type().to_string(),
+            if formal.is_some() { "FOUND" } else { "missed" },
+            formal_time,
+            sim_str
+        );
+        let _ = formal_str;
+    }
+    println!("\nTable 3 shape: B0/B2/B4 fall to simulation quickly; B1/B3 never");
+    println!("appear under spec-compliant stimulus; B5/B6 need thousands of");
+    println!("cycles. Formal verification finds all seven.");
+    Ok(())
+}

@@ -1,0 +1,238 @@
+//! Property-based tests (proptest) on the core data structures and
+//! cross-layer invariants.
+
+use proptest::prelude::*;
+use veridic::bdd::BddManager;
+use veridic::prelude::*;
+use veridic::sat::{Lit as SLit, SolveResult, Solver};
+
+/// A random boolean expression over `n` variables, as a tree.
+#[derive(Clone, Debug)]
+enum BoolTree {
+    Var(u32),
+    Not(Box<BoolTree>),
+    And(Box<BoolTree>, Box<BoolTree>),
+    Or(Box<BoolTree>, Box<BoolTree>),
+    Xor(Box<BoolTree>, Box<BoolTree>),
+}
+
+fn bool_tree(nvars: u32) -> impl Strategy<Value = BoolTree> {
+    let leaf = (0..nvars).prop_map(BoolTree::Var);
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|a| BoolTree::Not(Box::new(a))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| BoolTree::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| BoolTree::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| BoolTree::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn eval_tree(t: &BoolTree, assignment: u32) -> bool {
+    match t {
+        BoolTree::Var(v) => assignment >> v & 1 == 1,
+        BoolTree::Not(a) => !eval_tree(a, assignment),
+        BoolTree::And(a, b) => eval_tree(a, assignment) && eval_tree(b, assignment),
+        BoolTree::Or(a, b) => eval_tree(a, assignment) || eval_tree(b, assignment),
+        BoolTree::Xor(a, b) => eval_tree(a, assignment) ^ eval_tree(b, assignment),
+    }
+}
+
+fn tree_to_bdd(m: &mut BddManager, t: &BoolTree) -> veridic::bdd::NodeId {
+    match t {
+        BoolTree::Var(v) => m.var(*v).unwrap(),
+        BoolTree::Not(a) => {
+            let a = tree_to_bdd(m, a);
+            m.not(a).unwrap()
+        }
+        BoolTree::And(a, b) => {
+            let a = tree_to_bdd(m, a);
+            let b = tree_to_bdd(m, b);
+            m.and(a, b).unwrap()
+        }
+        BoolTree::Or(a, b) => {
+            let a = tree_to_bdd(m, a);
+            let b = tree_to_bdd(m, b);
+            m.or(a, b).unwrap()
+        }
+        BoolTree::Xor(a, b) => {
+            let a = tree_to_bdd(m, a);
+            let b = tree_to_bdd(m, b);
+            m.xor(a, b).unwrap()
+        }
+    }
+}
+
+fn tree_to_aig(g: &mut Aig, inputs: &[veridic::aig::Lit], t: &BoolTree) -> veridic::aig::Lit {
+    match t {
+        BoolTree::Var(v) => inputs[*v as usize],
+        BoolTree::Not(a) => !tree_to_aig(g, inputs, a),
+        BoolTree::And(a, b) => {
+            let a = tree_to_aig(g, inputs, a);
+            let b = tree_to_aig(g, inputs, b);
+            g.and(a, b)
+        }
+        BoolTree::Or(a, b) => {
+            let a = tree_to_aig(g, inputs, a);
+            let b = tree_to_aig(g, inputs, b);
+            g.or(a, b)
+        }
+        BoolTree::Xor(a, b) => {
+            let a = tree_to_aig(g, inputs, a);
+            let b = tree_to_aig(g, inputs, b);
+            g.xor(a, b)
+        }
+    }
+}
+
+const NVARS: u32 = 5;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The BDD of a random expression equals its truth table.
+    #[test]
+    fn bdd_matches_truth_table(t in bool_tree(NVARS)) {
+        let mut m = BddManager::new(1 << 18);
+        let f = tree_to_bdd(&mut m, &t);
+        for asg in 0..(1u32 << NVARS) {
+            let want = eval_tree(&t, asg);
+            let got = m.eval(f, &|v| asg >> v & 1 == 1);
+            prop_assert_eq!(got, want, "assignment {:05b}", asg);
+        }
+    }
+
+    /// The AIG of a random expression equals its truth table, and the
+    /// SAT encoding agrees with both: the solver finds a model exactly
+    /// when the truth table has a one.
+    #[test]
+    fn aig_and_sat_match_truth_table(t in bool_tree(NVARS)) {
+        let mut g = Aig::new();
+        let inputs: Vec<_> = (0..NVARS).map(|i| g.input(format!("x{i}"))).collect();
+        let root = tree_to_aig(&mut g, &inputs, &t);
+        let mut ones = 0u32;
+        for asg in 0..(1u32 << NVARS) {
+            let want = eval_tree(&t, asg);
+            ones += want as u32;
+            let got = g.eval_comb(root, &|v| {
+                let idx = g.input_index(v).unwrap();
+                asg >> idx & 1 == 1
+            });
+            prop_assert_eq!(got, want);
+        }
+        // SAT check.
+        let mut s = Solver::new();
+        let mut cb = veridic::sat::CnfBuilder::new(&mut s);
+        let frame = cb.encode_frame(&g, None);
+        let lit = frame.lit(root);
+        let res = s.solve(&[lit]);
+        if ones > 0 {
+            prop_assert_eq!(res, SolveResult::Sat);
+            // Verify the model against the tree.
+            let mut asg = 0u32;
+            for (i, l) in frame.inputs.iter().enumerate() {
+                if s.value(l.var()).map(|v| v ^ l.is_neg()).unwrap_or(false) {
+                    asg |= 1 << i;
+                }
+            }
+            prop_assert!(eval_tree(&t, asg), "SAT model must satisfy the tree");
+        } else {
+            prop_assert_eq!(res, SolveResult::Unsat);
+        }
+        let _ = SLit::pos(veridic::sat::Var(0)); // keep the import honest
+    }
+
+    /// Value arithmetic is consistent with u64 arithmetic at width <= 32.
+    #[test]
+    fn value_arithmetic_matches_u64(a in 0u64..0xFFFF_FFFF, b in 0u64..0xFFFF_FFFF) {
+        let w = 32;
+        let va = Value::from_u64(w, a);
+        let vb = Value::from_u64(w, b);
+        let mask = 0xFFFF_FFFFu64;
+        prop_assert_eq!(va.add(&vb).to_u64(), (a + b) & mask);
+        prop_assert_eq!(va.sub(&vb).to_u64(), a.wrapping_sub(b) & mask);
+        prop_assert_eq!(va.and(&vb).to_u64(), a & b);
+        prop_assert_eq!(va.or(&vb).to_u64(), a | b);
+        prop_assert_eq!(va.xor(&vb).to_u64(), a ^ b);
+        prop_assert_eq!(va.ult(&vb), a < b);
+        prop_assert_eq!(va.xor_reduce(), (a.count_ones() % 2) == 1);
+    }
+
+    /// Simulator and AIG agree on random leaf-module stimulus: the HE
+    /// output matches cycle by cycle.
+    #[test]
+    fn simulator_matches_aig_on_leaf(seed in 0u64..1000) {
+        let plan = &build_plans(Scale::Small)[0];
+        let module = build_leaf(plan, None);
+        let lowered = module.to_aig().unwrap();
+        let mut sim = Simulator::new(&module).unwrap();
+        let mut stim = UniformRandom::new(seed);
+        let he_net = module.find_net("HE").unwrap();
+        let mut frames = Vec::new();
+        let mut expected = Vec::new();
+        for _ in 0..20 {
+            let drives = stim.drive(&module, sim.cycle());
+            let mut frame = vec![false; lowered.aig.num_inputs()];
+            for (net, v) in &drives {
+                sim.poke_net(*net, v.clone()).unwrap();
+                for bit in 0..v.width() {
+                    if let Some(var) = lowered.input_vars.get(&(*net, bit)) {
+                        frame[lowered.aig.input_index(*var).unwrap()] = v.bit(bit);
+                    }
+                }
+            }
+            sim.settle();
+            expected.push(sim.peek_net(he_net));
+            sim.step();
+            frames.push(frame);
+        }
+        // Find HE output indices in the AIG (outputs named "HE[b]").
+        let he_indices: Vec<usize> = lowered
+            .aig
+            .outputs()
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.name.starts_with("HE["))
+            .map(|(i, _)| i)
+            .collect();
+        let reports = lowered.aig.simulate(&frames);
+        for (k, rep) in reports.iter().enumerate() {
+            for (bit, oi) in he_indices.iter().enumerate() {
+                prop_assert_eq!(
+                    rep.outputs[*oi],
+                    expected[k].bit(bit as u32),
+                    "cycle {} HE bit {}", k, bit
+                );
+            }
+        }
+    }
+
+    /// Generated chips always verify their own structural invariant:
+    /// odd parity of every entity after any number of spec-compliant
+    /// cycles.
+    #[test]
+    fn parity_invariant_under_spec_stimulus(seed in 0u64..200, module_idx in 0usize..11) {
+        let plans = build_plans(Scale::Small);
+        let plan = &plans[module_idx % plans.len()];
+        let module = build_leaf(plan, None);
+        let inv = extract(&module).unwrap();
+        let mut sim = Simulator::new(&module).unwrap();
+        let mut stim = SpecCompliant::new(seed);
+        for _ in 0..30 {
+            let drives = stim.drive(&module, sim.cycle());
+            for (net, v) in drives {
+                sim.poke_net(net, v).unwrap();
+            }
+            sim.settle();
+            sim.step();
+            for e in &inv.entities {
+                prop_assert!(
+                    sim.peek_net(e.net).xor_reduce(),
+                    "{} lost odd parity", e.name
+                );
+            }
+        }
+    }
+}
