@@ -1,0 +1,237 @@
+//! Offline API-subset shim for the
+//! [`criterion`](https://docs.rs/criterion/0.5) benchmark harness:
+//! `Criterion`, `BenchmarkGroup`, `Bencher::{iter, iter_batched}`,
+//! [`BatchSize`], [`criterion_group!`] and [`criterion_main!`].
+//!
+//! Measurement is deliberately simple — a short warm-up, then
+//! `sample_size` timed samples whose min/median/mean are printed as a
+//! compact table. With `CRITERION_ONE_SHOT=1` in the environment (or
+//! `--test` on the command line) every benchmark body runs exactly
+//! once, turning `cargo bench` into a cheap smoke test of the bench
+//! code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost; the shim runs one routine
+/// call per setup call regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input: setup is cheap relative to the routine.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One setup per sample.
+    PerIteration,
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    one_shot: bool,
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, excluding nothing: the classic tight loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let rounds = if self.one_shot { 1 } else { self.sample_size };
+        if !self.one_shot {
+            std::hint::black_box(routine()); // warm-up
+        }
+        for _ in 0..rounds {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh input from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let rounds = if self.one_shot { 1 } else { self.sample_size };
+        for _ in 0..rounds {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_one(id: &str, one_shot: bool, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { one_shot, sample_size, samples: Vec::new() };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    b.samples.sort();
+    let min = b.samples[0];
+    let median = b.samples[b.samples.len() / 2];
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    println!(
+        "{id:<40} min {:>10}  median {:>10}  mean {:>10}  ({} samples)",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(mean),
+        b.samples.len()
+    );
+}
+
+/// The benchmark manager: entry point of every harness.
+pub struct Criterion {
+    one_shot: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // One-shot mode runs every benchmark body exactly once — a cheap
+        // smoke test. Cargo does not pass any flag to `harness = false`
+        // bench targets it runs, so the switch is an environment
+        // variable; `--test` is honored too for parity with real
+        // criterion invocations.
+        let one_shot = std::env::var_os("CRITERION_ONE_SHOT").is_some_and(|v| v != "0")
+            || std::env::args().any(|a| a == "--test");
+        Criterion { one_shot, sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.one_shot, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.into(), sample_size: None }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    parent: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs a benchmark inside this group (id is prefixed by the group name).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        let n = self.sample_size.unwrap_or(self.parent.sample_size);
+        run_one(&full, self.parent.one_shot, n, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, fn1, fn2)`
+/// or the `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the `main` that runs the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut hits = 0u32;
+        run_one("t", false, 5, &mut |b| {
+            b.iter(|| hits += 1);
+        });
+        // 5 timed + 1 warm-up.
+        assert_eq!(hits, 6);
+    }
+
+    #[test]
+    fn one_shot_runs_once() {
+        let mut hits = 0u32;
+        run_one("t", true, 50, &mut |b| {
+            b.iter(|| hits += 1);
+        });
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut setups = 0u32;
+        let mut runs = 0u32;
+        run_one("t", false, 4, &mut |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    setups
+                },
+                |_| runs += 1,
+                BatchSize::SmallInput,
+            );
+        });
+        assert_eq!(setups, 4);
+        assert_eq!(runs, 4);
+    }
+}

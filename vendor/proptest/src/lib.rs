@@ -1,0 +1,416 @@
+//! Offline API-subset shim for the
+//! [`proptest`](https://docs.rs/proptest/1) property-testing framework.
+//!
+//! Provides deterministic random case generation with the `proptest`
+//! surface this workspace uses: the [`Strategy`] trait with `prop_map`
+//! and `prop_recursive`, range and tuple strategies, [`prop_oneof!`],
+//! the [`proptest!`] test macro, `prop_assert!`/`prop_assert_eq!`, and
+//! [`ProptestConfig`]. Failing cases are **not shrunk**; the failure
+//! message reports the case index and the generated inputs (via the
+//! assertion text) so a run can be reproduced — generation is a pure
+//! function of the case index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-test configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config that runs `cases` generated cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The deterministic source of randomness handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// A generator for case number `case` of test `test_name`.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the test name keeps streams of different tests
+        // decorrelated while staying fully deterministic.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+
+    fn gen_index(&mut self, n: usize) -> usize {
+        self.0.gen_range(0..n)
+    }
+}
+
+/// A generator of random values: the core abstraction.
+///
+/// Unlike real proptest there is no value tree and no shrinking — a
+/// strategy is just a deterministic function of a [`TestRng`].
+pub trait Strategy: Clone + 'static {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        let inner = self;
+        BoxedStrategy(Arc::new(move |rng| f(inner.new_value(rng))))
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves, and
+    /// `branch` wraps an inner strategy into one more level.
+    ///
+    /// `depth` bounds recursion depth; `desired_size` and
+    /// `expected_branch_size` are accepted for API parity but the shim
+    /// only uses `depth`. At every level below the cap the generator
+    /// may still choose a leaf, so sizes vary.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        S: Strategy<Value = Self::Value>,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let mut strat = self.clone().boxed();
+        for _ in 0..depth {
+            let leaf = self.clone();
+            let deeper = branch(strat);
+            // 1-in-4 chance of cutting to a leaf early, like proptest's
+            // size-driven taper.
+            strat = BoxedStrategy(Arc::new(move |rng| {
+                if rng.gen_index(4) == 0 {
+                    leaf.new_value(rng)
+                } else {
+                    deeper.new_value(rng)
+                }
+            }));
+        }
+        strat
+    }
+
+    /// Type-erases this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+    {
+        let inner = self;
+        BoxedStrategy(Arc::new(move |rng| inner.new_value(rng)))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+}
+
+/// A strategy that always yields clones of one value, mirroring
+/// `proptest::strategy::Just`.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Support types for [`prop_oneof!`].
+pub mod strategy {
+    pub use super::{BoxedStrategy, Just, Strategy};
+    use super::TestRng;
+
+    /// Uniform choice between type-erased alternatives.
+    pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union(self.0.clone())
+        }
+    }
+
+    impl<T: 'static> Strategy for Union<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_index(self.0.len());
+            self.0[i].new_value(rng)
+        }
+    }
+}
+
+/// The error a failing property raises: message plus location info.
+pub type TestCaseError = String;
+
+/// Runs `cfg.cases` generated cases of a property; used by [`proptest!`].
+///
+/// `gen` produces the inputs for one case, `run` executes the body.
+/// Panics (like a failing `#[test]`) on the first failing case.
+pub fn run_property<I, G, R>(name: &str, cfg: &ProptestConfig, gen_inputs: G, mut run: R)
+where
+    G: Fn(&mut TestRng) -> I,
+    R: FnMut(I) -> Result<(), TestCaseError>,
+    I: std::fmt::Debug,
+{
+    for case in 0..cfg.cases {
+        let mut rng = TestRng::for_case(name, case);
+        let inputs = gen_inputs(&mut rng);
+        if let Err(msg) = run(inputs) {
+            // Generation is a pure function of (name, case), so the
+            // failing inputs can be regenerated for the report instead
+            // of cloning them on every (usually passing) case.
+            let inputs = gen_inputs(&mut TestRng::for_case(name, case));
+            panic!(
+                "proptest property `{name}` failed at case {case}/{}:\n  inputs: {inputs:?}\n  {msg}",
+                cfg.cases
+            );
+        }
+    }
+}
+
+/// Uniform choice among several strategies with the same value type.
+///
+/// The shim ignores proptest's optional `weight =>` prefixes (unused in
+/// this workspace) and picks uniformly.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union(vec![
+            $($crate::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Property assertion: fails the current case without panicking the
+/// generator loop machinery.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...)` item
+/// becomes a `#[test]` that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = $crate::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $config:expr;) => {};
+    (
+        config = $config:expr;
+        $(#[$attr:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        // `#[test]` arrives via the captured attributes, exactly as the
+        // caller wrote it inside `proptest! { ... }`.
+        $(#[$attr])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $config;
+            let strategies = ($($crate::Strategy::boxed($strategy),)+);
+            $crate::run_property(
+                stringify!($name),
+                &cfg,
+                |rng| $crate::Strategy::new_value(&strategies, rng),
+                |($($pat,)+)| { $body ::std::result::Result::Ok(()) },
+            );
+        }
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+}
+
+/// The glob import every proptest consumer starts with.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let s = (0u32..5, 10u64..20);
+        let mut rng = TestRng::for_case("t", 0);
+        for _ in 0..100 {
+            let (a, b) = s.new_value(&mut rng);
+            assert!(a < 5 && (10..20).contains(&b));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_case() {
+        let s = (0u32..1000).prop_map(|x| x * 2);
+        let mut r1 = TestRng::for_case("det", 7);
+        let mut r2 = TestRng::for_case("det", 7);
+        assert_eq!(s.new_value(&mut r1), s.new_value(&mut r2));
+    }
+
+    #[test]
+    fn recursive_strategies_terminate_and_vary() {
+        #[derive(Clone, Debug)]
+        enum T {
+            #[allow(dead_code)]
+            Leaf(u32),
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> u32 {
+            match t {
+                T::Leaf(_) => 0,
+                T::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let s = (0u32..8).prop_map(T::Leaf).prop_recursive(4, 32, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b)))
+        });
+        let mut max_seen = 0;
+        for case in 0..64 {
+            let mut rng = TestRng::for_case("rec", case);
+            let t = s.new_value(&mut rng);
+            let d = depth(&t);
+            assert!(d <= 4, "depth {d} exceeds cap");
+            max_seen = max_seen.max(d);
+        }
+        assert!(max_seen >= 1, "some non-leaf trees should appear");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: bindings, asserts, and early Err returns.
+        #[test]
+        fn macro_smoke(a in 0u32..100, b in 0u32..100) {
+            prop_assert!(a < 100);
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_eq!(a + b, b + a, "commutativity for {} {}", a, b);
+        }
+
+        #[test]
+        fn oneof_covers_all_arms(x in prop_oneof![0u32..1, 5u32..6, 9u32..10]) {
+            prop_assert!(x == 0 || x == 5 || x == 9);
+        }
+    }
+}
