@@ -8,7 +8,7 @@
 //! small cone.
 
 use crate::{Aig, LatchId, Lit, Node, Var};
-use std::collections::HashMap;
+use crate::hash::FxHashMap;
 
 /// The result of a cone-of-influence extraction.
 #[derive(Clone, Debug)]
@@ -19,9 +19,9 @@ pub struct CoiResult {
     /// the same order.
     pub roots: Vec<Lit>,
     /// Old latch id → new latch id, for trace mapping.
-    pub latch_map: HashMap<LatchId, LatchId>,
+    pub latch_map: FxHashMap<LatchId, LatchId>,
     /// Old input var → new input var.
-    pub input_map: HashMap<Var, Var>,
+    pub input_map: FxHashMap<Var, Var>,
 }
 
 impl Aig {
@@ -54,13 +54,13 @@ impl Aig {
         }
         // Phase 2: rebuild in index order (which is topological).
         let mut out = Aig::new();
-        let mut lit_map: HashMap<Var, Lit> = HashMap::new();
+        let mut lit_map: FxHashMap<Var, Lit> = FxHashMap::default();
         lit_map.insert(Var(0), Lit::FALSE);
-        let mut latch_map = HashMap::new();
-        let mut input_map = HashMap::new();
+        let mut latch_map = FxHashMap::default();
+        let mut input_map = FxHashMap::default();
         let mut new_latches: Vec<(LatchId, LatchId)> = Vec::new();
-        for i in 0..self.nodes.len() {
-            if !needed[i] {
+        for (i, need) in needed.iter().enumerate() {
+            if !need {
                 continue;
             }
             let v = Var(i as u32);
@@ -98,7 +98,7 @@ impl Aig {
     }
 }
 
-fn map_lit(l: Lit, lit_map: &HashMap<Var, Lit>) -> Lit {
+fn map_lit(l: Lit, lit_map: &FxHashMap<Var, Lit>) -> Lit {
     let base = *lit_map
         .get(&l.var())
         .expect("COI mapping missed a needed node");

@@ -24,12 +24,13 @@
 #![warn(missing_docs)]
 
 mod coi;
+pub mod hash;
 mod sim;
 
 pub use coi::CoiResult;
 pub use sim::{CycleReport, CycleValues, SimState};
 
-use std::collections::HashMap;
+use crate::hash::FxHashMap;
 use std::fmt;
 
 /// A literal: a node variable with an optional inversion.
@@ -144,7 +145,7 @@ pub struct Aig {
     outputs: Vec<NamedLit>,
     bads: Vec<NamedLit>,
     constraints: Vec<NamedLit>,
-    strash: HashMap<(Lit, Lit), Var>,
+    strash: FxHashMap<(Lit, Lit), Var>,
 }
 
 impl Aig {
@@ -157,7 +158,7 @@ impl Aig {
             outputs: Vec::new(),
             bads: Vec::new(),
             constraints: Vec::new(),
-            strash: HashMap::new(),
+            strash: FxHashMap::default(),
         }
     }
 
@@ -384,12 +385,12 @@ impl Aig {
     /// nor a latch and the cone contains unevaluated nodes (cannot happen
     /// for well-formed AIGs).
     pub fn eval_comb(&self, root: Lit, leaf: &dyn Fn(Var) -> bool) -> bool {
-        let mut values: HashMap<Var, bool> = HashMap::new();
+        let mut values: FxHashMap<Var, bool> = FxHashMap::default();
         let v = self.eval_var(root.var(), leaf, &mut values);
         v ^ root.is_compl()
     }
 
-    fn eval_var(&self, var: Var, leaf: &dyn Fn(Var) -> bool, memo: &mut HashMap<Var, bool>) -> bool {
+    fn eval_var(&self, var: Var, leaf: &dyn Fn(Var) -> bool, memo: &mut FxHashMap<Var, bool>) -> bool {
         if let Some(&v) = memo.get(&var) {
             return v;
         }

@@ -7,8 +7,18 @@
 //!
 //! Design points:
 //!
-//! * **Hash-consed node table** with a unique table and ITE/quantification
-//!   computed caches.
+//! * **Hash-consed node table** with a unique table and per-operation
+//!   computed caches (ITE, AND/OR/NOT apply, quantification, difference),
+//!   all keyed with [`hash::FxHasher`] (shared with the other engines via
+//!   `veridic-aig`) — dense manager ids don't need SipHash's DoS
+//!   resistance, and the multiply-xor scheme is several times faster on
+//!   tuple keys.
+//! * **Iterative, normalized ITE**: the generic ternary op runs on an
+//!   explicit work stack, so its depth is independent of both operand
+//!   structure and variable count, and canonicalizes commutative AND/OR
+//!   operand orders before cache lookup. The specialized binary applies
+//!   recurse one frame per variable level (depth bounded by the order
+//!   length).
 //! * **Deterministic resource quota**: every operation returns
 //!   `Result<_, OutOfNodes>` and fails once the node budget is exhausted.
 //!   The model checkers convert this into a reproducible "time-out", which
@@ -36,5 +46,7 @@ mod manager;
 mod ops;
 mod reorder;
 
+pub use veridic_aig::hash;
+pub use veridic_aig::hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use manager::{BddManager, NodeId, OutOfNodes};
 pub use reorder::{best_window_order, rebuild_with_order};

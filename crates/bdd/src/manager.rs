@@ -1,6 +1,6 @@
 //! The BDD node table and basic constructors.
 
-use std::collections::HashMap;
+use crate::hash::{FxHashMap, FxHashSet};
 use std::error::Error;
 use std::fmt;
 
@@ -68,11 +68,19 @@ const TERMINAL_VAR: u32 = u32::MAX;
 #[derive(Clone, Debug)]
 pub struct BddManager {
     pub(crate) nodes: Vec<Node>,
-    pub(crate) unique: HashMap<(u32, NodeId, NodeId), NodeId>,
-    pub(crate) ite_cache: HashMap<(NodeId, NodeId, NodeId), NodeId>,
-    pub(crate) exists_cache: HashMap<(NodeId, NodeId), NodeId>,
-    pub(crate) and_exists_cache: HashMap<(NodeId, NodeId, NodeId), NodeId>,
-    pub(crate) rename_cache: HashMap<(NodeId, u64), NodeId>,
+    pub(crate) unique: FxHashMap<(u32, NodeId, NodeId), NodeId>,
+    pub(crate) ite_cache: FxHashMap<(NodeId, NodeId, NodeId), NodeId>,
+    pub(crate) exists_cache: FxHashMap<(NodeId, NodeId), NodeId>,
+    pub(crate) and_exists_cache: FxHashMap<(NodeId, NodeId, NodeId), NodeId>,
+    pub(crate) rename_cache: FxHashMap<(NodeId, u64), NodeId>,
+    pub(crate) diff_cache: FxHashMap<(NodeId, NodeId), NodeId>,
+    pub(crate) and_cache: FxHashMap<(NodeId, NodeId), NodeId>,
+    pub(crate) or_cache: FxHashMap<(NodeId, NodeId), NodeId>,
+    pub(crate) not_cache: FxHashMap<NodeId, NodeId>,
+    /// Reusable work stack of the iterative ITE (empty between calls).
+    pub(crate) ite_tasks: Vec<crate::ops::IteFrame>,
+    /// Reusable result stack of the iterative ITE (empty between calls).
+    pub(crate) ite_results: Vec<NodeId>,
     max_nodes: usize,
 }
 
@@ -84,11 +92,17 @@ impl BddManager {
                 Node { var: TERMINAL_VAR, lo: NodeId::FALSE, hi: NodeId::FALSE },
                 Node { var: TERMINAL_VAR, lo: NodeId::TRUE, hi: NodeId::TRUE },
             ],
-            unique: HashMap::new(),
-            ite_cache: HashMap::new(),
-            exists_cache: HashMap::new(),
-            and_exists_cache: HashMap::new(),
-            rename_cache: HashMap::new(),
+            unique: FxHashMap::default(),
+            ite_cache: FxHashMap::default(),
+            exists_cache: FxHashMap::default(),
+            and_exists_cache: FxHashMap::default(),
+            rename_cache: FxHashMap::default(),
+            diff_cache: FxHashMap::default(),
+            and_cache: FxHashMap::default(),
+            or_cache: FxHashMap::default(),
+            not_cache: FxHashMap::default(),
+            ite_tasks: Vec::new(),
+            ite_results: Vec::new(),
             max_nodes,
         }
     }
@@ -126,17 +140,23 @@ impl BddManager {
         if lo == hi {
             return Ok(lo);
         }
-        debug_assert!(var < self.var_of(lo) && var < self.var_of(hi), "order violation in mk");
-        if let Some(&n) = self.unique.get(&(var, lo, hi)) {
-            return Ok(n);
+        debug_assert!(
+            var < self.nodes[lo.0 as usize].var && var < self.nodes[hi.0 as usize].var,
+            "order violation in mk"
+        );
+        // One hash probe for both the hit and the miss path.
+        match self.unique.entry((var, lo, hi)) {
+            std::collections::hash_map::Entry::Occupied(e) => Ok(*e.get()),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                if self.nodes.len() >= self.max_nodes {
+                    return Err(OutOfNodes { quota: self.max_nodes });
+                }
+                let id = NodeId(self.nodes.len() as u32);
+                self.nodes.push(Node { var, lo, hi });
+                e.insert(id);
+                Ok(id)
+            }
         }
-        if self.nodes.len() >= self.max_nodes {
-            return Err(OutOfNodes { quota: self.max_nodes });
-        }
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { var, lo, hi });
-        self.unique.insert((var, lo, hi), id);
-        Ok(id)
     }
 
     /// The BDD for a single positive variable.
@@ -168,7 +188,7 @@ impl BddManager {
 
     /// Counts the nodes reachable from `f` (its size).
     pub fn size(&self, f: NodeId) -> usize {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = FxHashSet::default();
         let mut stack = vec![f];
         while let Some(n) = stack.pop() {
             if n.is_terminal() || !seen.insert(n) {
@@ -197,18 +217,22 @@ impl BddManager {
         self.exists_cache.clear();
         self.and_exists_cache.clear();
         self.rename_cache.clear();
+        self.diff_cache.clear();
+        self.and_cache.clear();
+        self.or_cache.clear();
+        self.not_cache.clear();
     }
 
     /// Number of satisfying assignments of `f` over `nvars` variables
     /// (variables `0..nvars`), as `f64` (exact for small counts).
     pub fn count_sat(&self, f: NodeId, nvars: u32) -> f64 {
-        let mut memo: HashMap<NodeId, f64> = HashMap::new();
+        let mut memo: FxHashMap<NodeId, f64> = FxHashMap::default();
         // count(n) = number of solutions below n, over vars var(n)..nvars
         fn go(
             m: &BddManager,
             n: NodeId,
             nvars: u32,
-            memo: &mut HashMap<NodeId, f64>,
+            memo: &mut FxHashMap<NodeId, f64>,
         ) -> f64 {
             if n == NodeId::FALSE {
                 return 0.0;

@@ -1,16 +1,156 @@
 //! BDD operations: ITE, boolean connectives, quantification, relational
 //! product, variable renaming, satisfying-assignment extraction.
 
+use crate::hash::FxHashMap;
 use crate::manager::{BddManager, NodeId, OutOfNodes};
+
+/// One pending step of the iterative [`BddManager::ite`].
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum IteFrame {
+    /// Evaluate `ite(f, g, h)` and push its node onto the result stack.
+    Apply(NodeId, NodeId, NodeId),
+    /// Pop the two cofactor results, build the node at level `v`, cache it
+    /// under the normalized `key`.
+    Reduce { v: u32, key: (NodeId, NodeId, NodeId) },
+}
+
+/// Canonicalizes an ITE triple whose `f` is known non-terminal.
+///
+/// Without complement edges two argument rewrites apply: conjunctions
+/// `ite(f, g, FALSE)` and disjunctions `ite(f, TRUE, h)` are commutative
+/// in `(f, g)` resp. `(f, h)`, so ordering the pair by node id makes the
+/// two operand orders share one computed-cache entry.
+#[inline]
+fn normalize_ite(mut f: NodeId, mut g: NodeId, mut h: NodeId) -> (NodeId, NodeId, NodeId) {
+    // ite(f, f, h) = ite(f, TRUE, h);  ite(f, g, f) = ite(f, g, FALSE).
+    if g == f {
+        g = NodeId::TRUE;
+    }
+    if h == f {
+        h = NodeId::FALSE;
+    }
+    // AND: ite(f, g, FALSE) = ite(g, f, FALSE) — smaller id first.
+    if h == NodeId::FALSE && !g.is_terminal() && g < f {
+        std::mem::swap(&mut f, &mut g);
+    }
+    // OR: ite(f, TRUE, h) = ite(h, TRUE, f) — smaller id first.
+    if g == NodeId::TRUE && !h.is_terminal() && h < f {
+        std::mem::swap(&mut f, &mut h);
+    }
+    (f, g, h)
+}
 
 impl BddManager {
     /// If-then-else: the universal ternary connective.
+    ///
+    /// Runs iteratively on an explicit stack (deep operand chains cannot
+    /// overflow the call stack) and canonicalizes each triple before the
+    /// computed-cache lookup, so commuted AND/OR operand orders hit the
+    /// same entry.
     ///
     /// # Errors
     ///
     /// Returns [`OutOfNodes`] when the quota is exhausted.
     pub fn ite(&mut self, f: NodeId, g: NodeId, h: NodeId) -> Result<NodeId, OutOfNodes> {
-        // Terminal cases.
+        // The work stacks live in the manager so the frequent small ITEs
+        // (every and/or/not goes through here) reuse their allocations.
+        let mut tasks = std::mem::take(&mut self.ite_tasks);
+        let mut results = std::mem::take(&mut self.ite_results);
+        tasks.push(IteFrame::Apply(f, g, h));
+        let mut failed: Option<OutOfNodes> = None;
+        while let Some(task) = tasks.pop() {
+            match task {
+                IteFrame::Apply(f, g, h) => {
+                    // Terminal cases.
+                    if f == NodeId::TRUE {
+                        results.push(g);
+                        continue;
+                    }
+                    if f == NodeId::FALSE {
+                        results.push(h);
+                        continue;
+                    }
+                    let (f, g, h) = normalize_ite(f, g, h);
+                    if g == h {
+                        results.push(g);
+                        continue;
+                    }
+                    if g == NodeId::TRUE && h == NodeId::FALSE {
+                        results.push(f);
+                        continue;
+                    }
+                    if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+                        results.push(r);
+                        continue;
+                    }
+                    let v = self
+                        .var_of(f)
+                        .min(self.var_of(g))
+                        .min(self.var_of(h));
+                    let (f0, f1) = self.cofactors(f, v);
+                    let (g0, g1) = self.cofactors(g, v);
+                    let (h0, h1) = self.cofactors(h, v);
+                    // LIFO: the lo-branch Apply runs first and pushes its
+                    // result below the hi-branch's.
+                    tasks.push(IteFrame::Reduce { v, key: (f, g, h) });
+                    tasks.push(IteFrame::Apply(f1, g1, h1));
+                    tasks.push(IteFrame::Apply(f0, g0, h0));
+                }
+                IteFrame::Reduce { v, key } => {
+                    let hi = results.pop().expect("hi cofactor result");
+                    let lo = results.pop().expect("lo cofactor result");
+                    match self.mk(v, lo, hi) {
+                        Ok(r) => {
+                            self.ite_cache.insert(key, r);
+                            results.push(r);
+                        }
+                        Err(e) => {
+                            failed = Some(e);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        let outcome = match failed {
+            Some(e) => Err(e),
+            None => {
+                debug_assert_eq!(results.len(), 1);
+                Ok(results.pop().expect("final ITE result"))
+            }
+        };
+        tasks.clear();
+        results.clear();
+        self.ite_tasks = tasks;
+        self.ite_results = results;
+        outcome
+    }
+
+    /// The textbook recursive ITE without argument normalization or the
+    /// shared computed cache — the semantic reference the fast path is
+    /// property-tested against. Not part of the public API.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfNodes`] when the quota is exhausted.
+    #[doc(hidden)]
+    pub fn ite_reference(
+        &mut self,
+        f: NodeId,
+        g: NodeId,
+        h: NodeId,
+    ) -> Result<NodeId, OutOfNodes> {
+        let mut memo = FxHashMap::default();
+        self.ite_reference_rec(f, g, h, &mut memo)
+    }
+
+    fn ite_reference_rec(
+        &mut self,
+        f: NodeId,
+        g: NodeId,
+        h: NodeId,
+        memo: &mut FxHashMap<(NodeId, NodeId, NodeId), NodeId>,
+    ) -> Result<NodeId, OutOfNodes> {
         if f == NodeId::TRUE {
             return Ok(g);
         }
@@ -23,7 +163,7 @@ impl BddManager {
         if g == NodeId::TRUE && h == NodeId::FALSE {
             return Ok(f);
         }
-        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+        if let Some(&r) = memo.get(&(f, g, h)) {
             return Ok(r);
         }
         let v = self
@@ -33,10 +173,10 @@ impl BddManager {
         let (f0, f1) = self.cofactors(f, v);
         let (g0, g1) = self.cofactors(g, v);
         let (h0, h1) = self.cofactors(h, v);
-        let lo = self.ite(f0, g0, h0)?;
-        let hi = self.ite(f1, g1, h1)?;
+        let lo = self.ite_reference_rec(f0, g0, h0, memo)?;
+        let hi = self.ite_reference_rec(f1, g1, h1, memo)?;
         let r = self.mk(v, lo, hi)?;
-        self.ite_cache.insert((f, g, h), r);
+        memo.insert((f, g, h), r);
         Ok(r)
     }
 
@@ -50,31 +190,97 @@ impl BddManager {
         }
     }
 
-    /// Negation.
+    /// Negation. Specialized unary apply with its own cache — negation is
+    /// hot enough (XNOR transition relations, complemented AIG literals)
+    /// to deserve single-key probes instead of ITE triples.
     ///
     /// # Errors
     ///
     /// Returns [`OutOfNodes`] when the quota is exhausted.
     pub fn not(&mut self, f: NodeId) -> Result<NodeId, OutOfNodes> {
-        self.ite(f, NodeId::FALSE, NodeId::TRUE)
+        if f == NodeId::FALSE {
+            return Ok(NodeId::TRUE);
+        }
+        if f == NodeId::TRUE {
+            return Ok(NodeId::FALSE);
+        }
+        if let Some(&r) = self.not_cache.get(&f) {
+            return Ok(r);
+        }
+        let v = self.var_of(f);
+        let lo = self.not(self.lo(f))?;
+        let hi = self.not(self.hi(f))?;
+        let r = self.mk(v, lo, hi)?;
+        self.not_cache.insert(f, r);
+        // Negation is an involution: prime the inverse entry for free.
+        self.not_cache.insert(r, f);
+        Ok(r)
     }
 
-    /// Conjunction.
+    /// Conjunction. Specialized binary apply: the generic ITE would model
+    /// this as `ite(f, g, FALSE)`, paying three-way cofactoring and frame
+    /// bookkeeping on the hottest operation in image computation.
     ///
     /// # Errors
     ///
     /// Returns [`OutOfNodes`] when the quota is exhausted.
     pub fn and(&mut self, f: NodeId, g: NodeId) -> Result<NodeId, OutOfNodes> {
-        self.ite(f, g, NodeId::FALSE)
+        if f == NodeId::TRUE {
+            return Ok(g);
+        }
+        if g == NodeId::TRUE {
+            return Ok(f);
+        }
+        if f == NodeId::FALSE || g == NodeId::FALSE {
+            return Ok(NodeId::FALSE);
+        }
+        if f == g {
+            return Ok(f);
+        }
+        let key = (f.min(g), f.max(g));
+        if let Some(&r) = self.and_cache.get(&key) {
+            return Ok(r);
+        }
+        let v = self.var_of(f).min(self.var_of(g));
+        let (f0, f1) = self.cofactors(f, v);
+        let (g0, g1) = self.cofactors(g, v);
+        let lo = self.and(f0, g0)?;
+        let hi = self.and(f1, g1)?;
+        let r = self.mk(v, lo, hi)?;
+        self.and_cache.insert(key, r);
+        Ok(r)
     }
 
-    /// Disjunction.
+    /// Disjunction. Specialized like [`BddManager::and`].
     ///
     /// # Errors
     ///
     /// Returns [`OutOfNodes`] when the quota is exhausted.
     pub fn or(&mut self, f: NodeId, g: NodeId) -> Result<NodeId, OutOfNodes> {
-        self.ite(f, NodeId::TRUE, g)
+        if f == NodeId::FALSE {
+            return Ok(g);
+        }
+        if g == NodeId::FALSE {
+            return Ok(f);
+        }
+        if f == NodeId::TRUE || g == NodeId::TRUE {
+            return Ok(NodeId::TRUE);
+        }
+        if f == g {
+            return Ok(f);
+        }
+        let key = (f.min(g), f.max(g));
+        if let Some(&r) = self.or_cache.get(&key) {
+            return Ok(r);
+        }
+        let v = self.var_of(f).min(self.var_of(g));
+        let (f0, f1) = self.cofactors(f, v);
+        let (g0, g1) = self.cofactors(g, v);
+        let lo = self.or(f0, g0)?;
+        let hi = self.or(f1, g1)?;
+        let r = self.mk(v, lo, hi)?;
+        self.or_cache.insert(key, r);
+        Ok(r)
     }
 
     /// Exclusive or.
@@ -95,6 +301,67 @@ impl BddManager {
     pub fn xnor(&mut self, f: NodeId, g: NodeId) -> Result<NodeId, OutOfNodes> {
         let ng = self.not(g)?;
         self.ite(f, g, ng)
+    }
+
+    /// Fused difference `f ∧ ¬g` — the frontier-minus-reached step of
+    /// image computation. Builds the difference directly instead of
+    /// materializing the complement of `g` (which for a multi-million
+    /// node reached set would burn most of the quota on dead nodes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfNodes`] when the quota is exhausted.
+    pub fn and_not(&mut self, f: NodeId, g: NodeId) -> Result<NodeId, OutOfNodes> {
+        if f == NodeId::FALSE || g == NodeId::TRUE || f == g {
+            return Ok(NodeId::FALSE);
+        }
+        if g == NodeId::FALSE {
+            return Ok(f);
+        }
+        if f == NodeId::TRUE {
+            return self.not(g);
+        }
+        if let Some(&r) = self.diff_cache.get(&(f, g)) {
+            return Ok(r);
+        }
+        let v = self.var_of(f).min(self.var_of(g));
+        let (f0, f1) = self.cofactors(f, v);
+        let (g0, g1) = self.cofactors(g, v);
+        let lo = self.and_not(f0, g0)?;
+        let hi = self.and_not(f1, g1)?;
+        let r = self.mk(v, lo, hi)?;
+        self.diff_cache.insert((f, g), r);
+        Ok(r)
+    }
+
+    /// True iff `f ∧ g` is satisfiable, decided by pure traversal: no
+    /// nodes are built and no quota is consumed, unlike testing
+    /// `and(f, g) != FALSE`. Relies on the ROBDD invariant that every
+    /// non-FALSE node has a path to TRUE.
+    pub fn intersects(&self, f: NodeId, g: NodeId) -> bool {
+        fn go(
+            m: &BddManager,
+            f: NodeId,
+            g: NodeId,
+            seen: &mut crate::hash::FxHashSet<(NodeId, NodeId)>,
+        ) -> bool {
+            if f == NodeId::FALSE || g == NodeId::FALSE {
+                return false;
+            }
+            if f == NodeId::TRUE || g == NodeId::TRUE {
+                // The other operand is non-FALSE, hence satisfiable.
+                return true;
+            }
+            if !seen.insert((f, g)) {
+                return false; // already explored, found nothing
+            }
+            let v = m.var_of(f).min(m.var_of(g));
+            let (f0, f1) = m.cofactors(f, v);
+            let (g0, g1) = m.cofactors(g, v);
+            go(m, f0, g0, seen) || go(m, f1, g1, seen)
+        }
+        let mut seen = crate::hash::FxHashSet::default();
+        go(self, f, g, &mut seen)
     }
 
     /// Implication `f -> g`.
@@ -340,7 +607,7 @@ impl BddManager {
 
     /// The support (set of variables) of `f`, ascending.
     pub fn support(&self, f: NodeId) -> Vec<u32> {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = crate::hash::FxHashSet::default();
         let mut vars = std::collections::BTreeSet::new();
         let mut stack = vec![f];
         while let Some(n) = stack.pop() {
@@ -441,6 +708,42 @@ mod tests {
         let conj = m.and(f, g).unwrap();
         let seq = m.exists(conj, cube).unwrap();
         assert_eq!(fused, seq);
+    }
+
+    #[test]
+    fn and_not_equals_composed_form() {
+        let mut m = mgr();
+        let a = m.var(0).unwrap();
+        let b = m.var(1).unwrap();
+        let c = m.var(2).unwrap();
+        let f = m.or(a, b).unwrap();
+        let g = m.xor(b, c).unwrap();
+        let fused = m.and_not(f, g).unwrap();
+        let ng = m.not(g).unwrap();
+        let composed = m.and(f, ng).unwrap();
+        assert_eq!(fused, composed);
+        assert_eq!(m.and_not(f, f).unwrap(), NodeId::FALSE);
+        assert_eq!(m.and_not(f, NodeId::FALSE).unwrap(), f);
+        assert_eq!(m.and_not(f, NodeId::TRUE).unwrap(), NodeId::FALSE);
+        let nf = m.not(f).unwrap();
+        assert_eq!(m.and_not(NodeId::TRUE, f).unwrap(), nf);
+    }
+
+    #[test]
+    fn intersects_agrees_with_and() {
+        let mut m = mgr();
+        let a = m.var(0).unwrap();
+        let b = m.var(1).unwrap();
+        let na = m.not(a).unwrap();
+        let ab = m.and(a, b).unwrap();
+        assert!(m.intersects(a, b));
+        assert!(m.intersects(ab, a));
+        assert!(!m.intersects(a, na), "disjoint cofactor spaces");
+        assert!(!m.intersects(ab, NodeId::FALSE));
+        assert!(m.intersects(NodeId::TRUE, b));
+        let nodes_before = m.num_nodes();
+        assert!(m.intersects(a, b));
+        assert_eq!(m.num_nodes(), nodes_before, "intersects must not allocate");
     }
 
     #[test]

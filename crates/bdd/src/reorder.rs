@@ -35,7 +35,7 @@ pub fn rebuild_with_order(
     for (lvl, v) in order_to.iter().enumerate() {
         position_of[*v as usize] = lvl as u32;
     }
-    let mut memo = std::collections::HashMap::new();
+    let mut memo = crate::hash::FxHashMap::default();
     rebuild(src, f, &position_of, dst, &mut memo)
 }
 
@@ -44,7 +44,7 @@ fn rebuild(
     f: NodeId,
     position_of: &[u32],
     dst: &mut BddManager,
-    memo: &mut std::collections::HashMap<NodeId, NodeId>,
+    memo: &mut crate::hash::FxHashMap<NodeId, NodeId>,
 ) -> Result<NodeId, OutOfNodes> {
     if f.is_terminal() {
         return Ok(f);

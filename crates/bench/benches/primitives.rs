@@ -54,9 +54,9 @@ fn sat_ops(c: &mut Criterion) {
                 s.add_clause(&cls);
             }
             for j in 0..m {
-                for i1 in 0..n {
-                    for i2 in i1 + 1..n {
-                        s.add_clause(&[SLit::neg(p[i1][j]), SLit::neg(p[i2][j])]);
+                for (i1, row1) in p.iter().enumerate() {
+                    for row2 in &p[i1 + 1..] {
+                        s.add_clause(&[SLit::neg(row1[j]), SLit::neg(row2[j])]);
                     }
                 }
             }

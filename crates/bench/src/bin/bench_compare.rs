@@ -1,0 +1,147 @@
+//! Compares a `cargo bench` output capture against the checked-in
+//! `BENCH_BASELINE.json` so perf regressions are visible in review.
+//!
+//! Usage:
+//!
+//! ```text
+//! CRITERION_ONE_SHOT=1 cargo bench -p veridic-bench | tee bench-out.txt
+//! cargo run --release -p veridic-bench --bin bench_compare -- bench-out.txt [BENCH_BASELINE.json]
+//! ```
+//!
+//! The comparison is advisory (always exits 0): one-shot samples on a
+//! shared CI worker are too noisy to gate on, but a consistent 2x swing
+//! across benches is exactly what a reviewer should see.
+
+use std::collections::BTreeMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(out_path) = args.get(1) else {
+        eprintln!("usage: bench_compare <bench-output.txt> [BENCH_BASELINE.json]");
+        std::process::exit(2);
+    };
+    let default_baseline = "BENCH_BASELINE.json".to_string();
+    let baseline_path = args.get(2).unwrap_or(&default_baseline);
+
+    let output = std::fs::read_to_string(out_path)
+        .unwrap_or_else(|e| panic!("cannot read {out_path}: {e}"));
+    let baseline_text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read {baseline_path}: {e}"));
+
+    let baseline = parse_baseline(&baseline_text);
+    let current = parse_bench_output(&output);
+
+    println!("Bench comparison vs {baseline_path} (advisory)");
+    println!("{:<42} {:>12} {:>12} {:>9}", "bench", "baseline", "current", "delta");
+    let mut missing: Vec<&str> = Vec::new();
+    for (name, base_s) in &baseline {
+        match current.get(name.as_str()) {
+            Some(cur_s) => {
+                let delta = (cur_s - base_s) / base_s * 100.0;
+                let flag = if delta > 25.0 {
+                    "  <-- slower"
+                } else if delta < -25.0 {
+                    "  <-- faster"
+                } else {
+                    ""
+                };
+                println!(
+                    "{:<42} {:>12} {:>12} {:>+8.1}%{}",
+                    name,
+                    fmt_secs(*base_s),
+                    fmt_secs(*cur_s),
+                    delta,
+                    flag
+                );
+            }
+            None => missing.push(name),
+        }
+    }
+    for name in missing {
+        println!("{name:<42} (not in this run)");
+    }
+    for name in current.keys() {
+        if !baseline.contains_key(name) {
+            println!("{name:<42} (new; not in baseline)");
+        }
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.2} µs", s * 1e6)
+    }
+}
+
+/// Parses the flat `"name": seconds` map out of `BENCH_BASELINE.json`.
+/// The file is ours and stays flat, so a line-based scan is enough — no
+/// JSON dependency needed offline.
+fn parse_baseline(text: &str) -> BTreeMap<String, f64> {
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else { continue };
+        let Some((name, value)) = rest.split_once("\":") else { continue };
+        if let Ok(v) = value.trim().parse::<f64>() {
+            // Metadata keys ("host", "mode", ...) hold strings and fail
+            // the parse above, so only bench entries land here.
+            map.insert(name.to_string(), v);
+        }
+    }
+    map
+}
+
+/// Parses the vendored criterion shim's result lines:
+/// `<name>  min <value> <unit>  median ...`.
+fn parse_bench_output(text: &str) -> BTreeMap<String, f64> {
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let mut parts = line.split_whitespace();
+        let Some(name) = parts.next() else { continue };
+        let rest: Vec<&str> = parts.collect();
+        let Some(pos) = rest.iter().position(|t| *t == "min") else {
+            continue;
+        };
+        let (Some(value), Some(unit)) = (rest.get(pos + 1), rest.get(pos + 2)) else {
+            continue;
+        };
+        let Ok(v) = value.parse::<f64>() else { continue };
+        let secs = match *unit {
+            "s" => v,
+            "ms" => v * 1e-3,
+            "µs" | "us" => v * 1e-6,
+            "ns" => v * 1e-9,
+            _ => continue,
+        };
+        map.insert(name.to_string(), secs);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_shim_output_lines() {
+        let out = "fig7/monolithic_generous                 min    60.91 s  median    60.91 s  mean    60.91 s  (1 samples)\n\
+                   fig7/partitioned_tight                   min   18.38 ms  median   18.38 ms  mean   18.38 ms  (1 samples)\n\
+                   noise line without keyword\n";
+        let m = parse_bench_output(out);
+        assert_eq!(m.len(), 2);
+        assert!((m["fig7/monolithic_generous"] - 60.91).abs() < 1e-9);
+        assert!((m["fig7/partitioned_tight"] - 0.01838).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parses_flat_baseline_json() {
+        let text = "{\n  \"host\": \"ci\",\n  \"fig7/monolithic_generous\": 60.91,\n  \"sat/php_5_4\": 0.5\n}\n";
+        let m = parse_baseline(text);
+        assert_eq!(m.len(), 2);
+        assert!((m["fig7/monolithic_generous"] - 60.91).abs() < 1e-9);
+    }
+}

@@ -7,7 +7,7 @@ use veridic::prelude::*;
 
 fn main() {
     println!("ECO replay: post-route fixes vs. injection spare gates");
-    println!("{:<6} {:<12} {}", "ECO", "Kind", "Used injection spares?");
+    println!("{:<6} {:<12} Used injection spares?", "ECO", "Kind");
     let events = eco_replay();
     for e in &events {
         println!(

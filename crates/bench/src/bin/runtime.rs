@@ -15,7 +15,10 @@ fn main() {
     let chip = Chip::generate(&ChipConfig { scale, with_bugs: false });
     eprintln!("running campaign ...");
     let t0 = Instant::now();
-    let report = run_campaign(&chip, &CampaignConfig::default());
+    // Pin workers: the paper's §6.1 figure is a *single-CPU* latency
+    // distribution; parallel checking would skew both the per-property
+    // durations (contention) and the wall-clock mean (divided down).
+    let report = run_campaign(&chip, &CampaignConfig { workers: 1, ..Default::default() });
     let total = t0.elapsed();
 
     let mut lat: Vec<f64> = report

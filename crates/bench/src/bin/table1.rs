@@ -15,11 +15,11 @@ fn main() {
         gates += module_area(m, &costs);
     }
     println!("Table 1. Chip implementation");
-    println!("{:<18} {}", "Item", "Implementation");
-    println!("{:<18} {}", "Chip die size", "12.8 x 12.5 mm2   (paper constant)");
-    println!("{:<18} {}", "Technology", "0.11 um CMOS ASIC (paper constant; sets the cell model)");
+    println!("{:<18} Implementation", "Item");
+    println!("{:<18} 12.8 x 12.5 mm2   (paper constant)", "Chip die size");
+    println!("{:<18} 0.11 um CMOS ASIC (paper constant; sets the cell model)", "Technology");
     println!("{:<18} {:.2}M gate-units (synthetic chip, gate-area model)", "Logic size", gates / 1.0e6);
-    println!("{:<18} {}", "Core frequency", "250MHz            (paper constant; sets the 4ns cycle)");
+    println!("{:<18} 250MHz            (paper constant; sets the 4ns cycle)", "Core frequency");
     println!();
     println!("leaf modules: {} in 5 categories; checkpoint census: 2047 properties", chip.modules().len());
     println!("(paper reports 3.5M gates; the synthetic chip reproduces the module/");

@@ -40,7 +40,7 @@ fn main() {
             let mut sim = Simulator::new(module).unwrap();
             let mut stim = SpecCompliant::new(seed);
             let hit = sim
-                .run_with(&mut stim, SIM_BUDGET, |s| observe_symptom(s))
+                .run_with(&mut stim, SIM_BUDGET, observe_symptom)
                 .unwrap();
             latencies.push(hit.map(|(c, _)| c));
         }

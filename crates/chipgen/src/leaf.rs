@@ -668,10 +668,9 @@ mod tests {
                 let mut v = rng.random_value(w);
                 if m.net(port.0).attrs.get("checkpoint.kind").map(String::as_str)
                     == Some("input_group")
+                    && !v.xor_reduce()
                 {
-                    if !v.xor_reduce() {
-                        v.set_bit(0, !v.bit(0));
-                    }
+                    v.set_bit(0, !v.bit(0));
                 }
                 sim.poke_net(port.0, v).unwrap();
             }

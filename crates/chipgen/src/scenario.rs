@@ -192,7 +192,7 @@ mod tests {
     fn detect(m: &veridic_netlist::Module, seed: u64, cycles: u64) -> Option<u64> {
         let mut sim = Simulator::new(m).unwrap();
         let mut stim = SpecCompliant::new(seed);
-        sim.run_with(&mut stim, cycles, |s| observe_symptom(s))
+        sim.run_with(&mut stim, cycles, observe_symptom)
             .unwrap()
             .map(|(c, _)| c)
     }

@@ -14,15 +14,27 @@ use veridic_mc::{check_one, CheckOptions, CheckStats, Verdict};
 use veridic_psl::CompiledVUnit;
 
 /// Campaign configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct CampaignConfig {
     /// Engine budgets per property.
     pub check: CheckOptions,
+    /// Worker threads for the per-property fan-out; `0` (the default)
+    /// means one worker per available CPU. Any value produces a report
+    /// byte-identical to `workers = 1`: each property check owns its own
+    /// engines, and records are ordered by property index, never by
+    /// completion order.
+    pub workers: usize,
 }
 
-impl Default for CampaignConfig {
-    fn default() -> Self {
-        CampaignConfig { check: CheckOptions::default() }
+impl CampaignConfig {
+    /// The effective worker count: `workers`, or the number of available
+    /// CPUs when `workers == 0`.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
     }
 }
 
@@ -92,55 +104,114 @@ pub fn prepare_module(
     Ok((vm, units))
 }
 
-/// Runs the full formal campaign over a generated chip: every leaf
-/// module, every stereotype property.
-pub fn run_campaign(chip: &Chip, cfg: &CampaignConfig) -> CampaignReport {
-    let start = Instant::now();
-    let mut report = CampaignReport::default();
-    for mi in chip.modules() {
-        let m = chip
-            .design()
-            .module(mi.name())
-            .expect("chip lists existing modules");
-        let (_, units) = match prepare_module(m) {
-            Ok(x) => x,
+/// Everything one campaign worker produces for one leaf module, in the
+/// same order a serial campaign would emit it.
+type ModuleOutput = (Vec<PropertyRecord>, Vec<(String, String)>);
+
+/// Prepares and checks every stereotype property of one leaf module.
+fn run_module(chip: &Chip, mi: &veridic_chipgen::ModuleInfo, check: &CheckOptions) -> ModuleOutput {
+    let mut records = Vec::new();
+    let mut errors = Vec::new();
+    let m = chip
+        .design()
+        .module(mi.name())
+        .expect("chip lists existing modules");
+    let (_, units) = match prepare_module(m) {
+        Ok(x) => x,
+        Err(e) => {
+            errors.push((mi.name().to_string(), e.to_string()));
+            return (records, errors);
+        }
+    };
+    for (gen, compiled) in units {
+        let lowered = match compiled.module.to_aig() {
+            Ok(l) => l,
             Err(e) => {
-                report.errors.push((mi.name().to_string(), e.to_string()));
+                errors.push((mi.name().to_string(), e.to_string()));
                 continue;
             }
         };
-        for (gen, compiled) in units {
-            let lowered = match compiled.module.to_aig() {
-                Ok(l) => l,
-                Err(e) => {
-                    report.errors.push((mi.name().to_string(), e.to_string()));
-                    continue;
-                }
-            };
-            let mut aig = lowered.aig.clone();
-            for (label, net) in &compiled.asserts {
-                aig.add_bad(label.clone(), lowered.bit(*net, 0));
-            }
-            for (label, net) in &compiled.assumes {
-                aig.add_constraint(label.clone(), !lowered.bit(*net, 0));
-            }
-            for (idx, (label, _)) in compiled.asserts.iter().enumerate() {
-                let t0 = Instant::now();
-                let mut stats = CheckStats::default();
-                let verdict = check_one(&aig, idx, &cfg.check, &mut stats);
-                report.records.push(PropertyRecord {
-                    module: mi.name().to_string(),
-                    category: mi.plan().category,
-                    vunit: gen.unit.name.clone(),
-                    label: label.clone(),
-                    ptype: gen.ptype,
-                    verdict,
-                    stats,
-                    duration: t0.elapsed(),
-                });
-            }
+        let mut aig = lowered.aig.clone();
+        for (label, net) in &compiled.asserts {
+            aig.add_bad(label.clone(), lowered.bit(*net, 0));
+        }
+        for (label, net) in &compiled.assumes {
+            aig.add_constraint(label.clone(), !lowered.bit(*net, 0));
+        }
+        for (idx, (label, _)) in compiled.asserts.iter().enumerate() {
+            let t0 = Instant::now();
+            let mut stats = CheckStats::default();
+            let verdict = check_one(&aig, idx, check, &mut stats);
+            records.push(PropertyRecord {
+                module: mi.name().to_string(),
+                category: mi.plan().category,
+                vunit: gen.unit.name.clone(),
+                label: label.clone(),
+                ptype: gen.ptype,
+                verdict,
+                stats,
+                duration: t0.elapsed(),
+            });
         }
     }
+    (records, errors)
+}
+
+/// Runs the full formal campaign over a generated chip: every leaf
+/// module, every stereotype property.
+///
+/// Modules fan out across [`CampaignConfig::workers`] scoped threads
+/// pulling the next module index from a shared atomic queue, so both
+/// preparation (Verifiable transform, stereotype generation, AIG
+/// lowering) and the per-property `check_one` calls run in parallel,
+/// and a module's AIGs are dropped as soon as its checks finish — only
+/// in-flight modules stay resident. Every check owns its engines, and
+/// per-module outputs are merged back in module-index order, so the
+/// report is identical to a serial run regardless of worker count or
+/// completion order.
+pub fn run_campaign(chip: &Chip, cfg: &CampaignConfig) -> CampaignReport {
+    let start = Instant::now();
+    let mut report = CampaignReport::default();
+
+    let modules = chip.modules();
+    let workers = cfg.effective_workers().min(modules.len().max(1));
+    let outputs: Vec<ModuleOutput> = if workers <= 1 {
+        modules.iter().map(|mi| run_module(chip, mi, &cfg.check)).collect()
+    } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut slots: Vec<Option<ModuleOutput>> = vec![None; modules.len()];
+        let per_worker: Vec<Vec<(usize, ModuleOutput)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some(mi) = modules.get(i) else { break };
+                            out.push((i, run_module(chip, mi, &cfg.check)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("campaign worker panicked"))
+                .collect()
+        });
+        for (i, o) in per_worker.into_iter().flatten() {
+            slots[i] = Some(o);
+        }
+        slots
+            .into_iter()
+            .map(|o| o.expect("every module produced an output"))
+            .collect()
+    };
+    for (records, errors) in outputs {
+        report.records.extend(records);
+        report.errors.extend(errors);
+    }
+
     report.total_time = start.elapsed();
     report
 }
@@ -330,6 +401,38 @@ mod tests {
                 r.label
             );
         }
+    }
+
+    #[test]
+    fn parallel_campaign_matches_serial() {
+        // Determinism is an executor property, not an engine property, so
+        // the deliberately small Fig.7 budgets keep this test fast: the
+        // verdict mix (proofs, falsifications, resource-outs) still has to
+        // be byte-for-byte stable across worker counts.
+        let chip = Chip::generate(&ChipConfig { scale: Scale::Small, with_bugs: true });
+        let check = CheckOptions::tiny_budget();
+        let serial = run_campaign(&chip, &CampaignConfig { check: check.clone(), workers: 1 });
+        let parallel = run_campaign(&chip, &CampaignConfig { check, workers: 4 });
+        assert_eq!(serial.errors, parallel.errors);
+        assert_eq!(serial.records.len(), parallel.records.len());
+        for (a, b) in serial.records.iter().zip(&parallel.records) {
+            assert_eq!(a.module, b.module);
+            assert_eq!(a.vunit, b.vunit);
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.ptype, b.ptype);
+            assert_eq!(a.verdict, b.verdict, "{}/{}", a.module, a.label);
+        }
+        // The rendered report (which carries no wall-clock noise) is
+        // byte-identical — the determinism contract of the executor.
+        assert_eq!(serial.render_table2(&chip), parallel.render_table2(&chip));
+    }
+
+    #[test]
+    fn effective_workers_resolves_auto() {
+        let auto = CampaignConfig::default();
+        assert!(auto.effective_workers() >= 1);
+        let pinned = CampaignConfig { workers: 3, ..Default::default() };
+        assert_eq!(pinned.effective_workers(), 3);
     }
 
     #[test]

@@ -7,9 +7,8 @@
 //! order-preserving, so renaming is a linear rebuild.
 
 use crate::CheckStats;
-use std::collections::HashMap;
 use veridic_aig::{Aig, Lit, Var};
-use veridic_bdd::{BddManager, NodeId, OutOfNodes};
+use veridic_bdd::{BddManager, FxHashMap, NodeId, OutOfNodes};
 
 /// Outcome of a BDD reachability engine.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -41,6 +40,8 @@ pub struct TransitionSystem {
     pub constraint: NodeId,
     /// Bad predicate (over current + input vars).
     pub bad: NodeId,
+    /// Precomputed `bad ∧ constraint`, the target of reachability tests.
+    pub bad_constraint: NodeId,
     /// Rename map next→current.
     pub next_to_cur: Vec<(u32, u32)>,
     num_latches: usize,
@@ -66,7 +67,7 @@ impl TransitionSystem {
         let input_var = |j: usize| (2 * n + j) as u32;
 
         // Node → BDD over (cur, input) vars.
-        let mut node_bdd: HashMap<Var, NodeId> = HashMap::new();
+        let mut node_bdd: FxHashMap<Var, NodeId> = FxHashMap::default();
         node_bdd.insert(Var(0), NodeId::FALSE);
         for (j, (v, _)) in aig.inputs().iter().enumerate() {
             let b = mgr.var(input_var(j))?;
@@ -120,6 +121,7 @@ impl TransitionSystem {
             let bb = of(&mut mgr, b.lit)?;
             bad = mgr.or(bad, bb)?;
         }
+        let bad_constraint = mgr.and(bad, constraint)?;
 
         // Initial state cube.
         let mut init = NodeId::TRUE;
@@ -139,7 +141,7 @@ impl TransitionSystem {
             .map(cur_var)
             .chain((0..aig.num_inputs()).map(input_var))
             .collect();
-        let mut last_use: HashMap<u32, usize> = HashMap::new();
+        let mut last_use: FxHashMap<u32, usize> = FxHashMap::default();
         for (k, c) in clusters.iter().enumerate() {
             for v in mgr.support(*c) {
                 if v % 2 == 0 || v >= 2 * n as u32 {
@@ -172,6 +174,7 @@ impl TransitionSystem {
             init,
             constraint,
             bad,
+            bad_constraint,
             next_to_cur,
             num_latches: n,
             num_inputs: aig.num_inputs(),
@@ -195,15 +198,10 @@ impl TransitionSystem {
     }
 
     /// True if `s` intersects `bad ∧ constraint` (bad may depend on
-    /// inputs, which are quantified existentially).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`OutOfNodes`] if the node quota is exhausted.
-    pub fn intersects_bad(&mut self, s: NodeId) -> Result<bool, OutOfNodes> {
-        let bc = self.mgr.and(self.bad, self.constraint)?;
-        let hit = self.mgr.and(s, bc)?;
-        Ok(hit != NodeId::FALSE)
+    /// inputs, which are quantified existentially). Pure traversal: no
+    /// nodes are allocated, so this can neither fail nor eat the quota.
+    pub fn intersects_bad(&self, s: NodeId) -> bool {
+        self.mgr.intersects(s, self.bad_constraint)
     }
 
     /// Number of latches (state variables).
@@ -219,7 +217,7 @@ impl TransitionSystem {
 
 fn lit_bdd(
     mgr: &mut BddManager,
-    node_bdd: &HashMap<Var, NodeId>,
+    node_bdd: &FxHashMap<Var, NodeId>,
     l: Lit,
 ) -> Result<NodeId, OutOfNodes> {
     let base = node_bdd[&l.var()];
@@ -245,18 +243,17 @@ pub fn bdd_umc(
     let outcome = (|| -> Result<BddEngineOutcome, OutOfNodes> {
         let mut reached = ts.init;
         let mut frontier = ts.init;
-        if ts.intersects_bad(frontier)? {
+        if ts.intersects_bad(frontier) {
             return Ok(BddEngineOutcome::FalsifiedAtDepth(0));
         }
         for depth in 1..=max_iterations {
             let img = ts.image(frontier)?;
-            let not_reached = ts.mgr.not(reached)?;
-            let new = ts.mgr.and(img, not_reached)?;
+            let new = ts.mgr.and_not(img, reached)?;
             stats.iterations = depth;
             if new == NodeId::FALSE {
                 return Ok(BddEngineOutcome::Proved);
             }
-            if ts.intersects_bad(new)? {
+            if ts.intersects_bad(new) {
                 return Ok(BddEngineOutcome::FalsifiedAtDepth(depth));
             }
             reached = ts.mgr.or(reached, new)?;

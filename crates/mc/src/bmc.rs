@@ -160,10 +160,8 @@ pub fn induction_check(
                 for j in i + 1..state_lits.len() {
                     // diff_ij: OR over bits of (s_i[b] != s_j[b]).
                     let mut diff_clause = Vec::new();
-                    for b in 0..aig.num_latches() {
+                    for (&x, &y) in state_lits[i].iter().zip(&state_lits[j]) {
                         let d = SLit::pos(solver.new_var());
-                        let x = state_lits[i][b];
-                        let y = state_lits[j][b];
                         // d -> (x != y): (!d, x, y), (!d, !x, !y)
                         solver.add_clause(&[!d, x, y]);
                         solver.add_clause(&[!d, !x, !y]);

@@ -251,8 +251,8 @@ pub fn check_one(
         for (old_var, new_var) in &coi.input_map {
             let old_idx = aig.input_index(*old_var).expect("input var");
             let new_idx = sub.input_index(*new_var).expect("mapped input var");
-            for k in 0..t.inputs.len() {
-                full[k][old_idx] = t.inputs[k][new_idx];
+            for (dst, src) in full.iter_mut().zip(&t.inputs) {
+                dst[old_idx] = src[new_idx];
             }
         }
         Trace { inputs: full, bad_index }

@@ -64,7 +64,7 @@ fn run(
         let part = ts.mgr.and(ts.init, windows[w])?;
         reached[w] = part;
         frontier[w] = part;
-        if part != NodeId::FALSE && ts.intersects_bad(part)? {
+        if part != NodeId::FALSE && ts.intersects_bad(part) {
             return Ok(BddEngineOutcome::FalsifiedAtDepth(0));
         }
     }
@@ -75,23 +75,22 @@ fn run(
         stats.iterations = depth;
         let mut new_frontier = vec![NodeId::FALSE; nparts];
         let mut any_new = false;
-        for w in 0..nparts {
-            if frontier[w] == NodeId::FALSE {
+        for &fr in &frontier {
+            if fr == NodeId::FALSE {
                 continue;
             }
-            let img = ts.image(frontier[w])?;
+            let img = ts.image(fr)?;
             // Distribute the image across windows.
             for (l, window) in windows.iter().enumerate() {
                 let part = ts.mgr.and(img, *window)?;
                 if part == NodeId::FALSE {
                     continue;
                 }
-                let not_reached = ts.mgr.not(reached[l])?;
-                let fresh = ts.mgr.and(part, not_reached)?;
+                let fresh = ts.mgr.and_not(part, reached[l])?;
                 if fresh == NodeId::FALSE {
                     continue;
                 }
-                if ts.intersects_bad(fresh)? {
+                if ts.intersects_bad(fresh) {
                     return Ok(BddEngineOutcome::FalsifiedAtDepth(depth));
                 }
                 reached[l] = ts.mgr.or(reached[l], fresh)?;

@@ -26,7 +26,7 @@ pub struct Value {
 }
 
 fn words_for(width: u32) -> usize {
-    ((width as usize) + 63) / 64
+    (width as usize).div_ceil(64)
 }
 
 impl Value {
@@ -331,7 +331,7 @@ impl fmt::Debug for Value {
 impl fmt::LowerHex for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}'h", self.width)?;
-        let digits = ((self.width as usize) + 3) / 4;
+        let digits = (self.width as usize).div_ceil(4);
         for d in (0..digits).rev() {
             let mut nib = 0u8;
             for b in 0..4 {

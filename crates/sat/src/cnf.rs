@@ -2,7 +2,7 @@
 //! And-Inverter Graphs for the bounded model checker.
 
 use crate::{Lit, Solver};
-use std::collections::HashMap;
+use veridic_aig::hash::FxHashMap;
 use veridic_aig::{Aig, LatchId, Lit as ALit, Var as AVar};
 
 /// Builds CNF incrementally into a [`Solver`], mapping AIG nodes of one
@@ -20,7 +20,7 @@ pub struct CnfBuilder<'a> {
 /// The literal map of one encoded time frame.
 #[derive(Clone, Debug, Default)]
 pub struct Frame {
-    map: HashMap<AVar, Lit>,
+    map: FxHashMap<AVar, Lit>,
     /// Solver literals for each AIG primary input of this frame.
     pub inputs: Vec<Lit>,
     /// Solver literals for each latch's *next* state leaving this frame.

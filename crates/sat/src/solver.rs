@@ -465,7 +465,7 @@ impl Solver {
                 .partial_cmp(&self.clauses[b].activity)
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
-        let locked: std::collections::HashSet<ClauseRef> =
+        let locked: veridic_aig::hash::FxHashSet<ClauseRef> =
             self.reason.iter().flatten().copied().collect();
         let half = self.learnt_refs.len() / 2;
         let mut removed = Vec::new();
@@ -666,18 +666,18 @@ mod tests {
         // PHP(3,2): 3 pigeons, 2 holes. Var p_{i,j} = pigeon i in hole j.
         let mut s = Solver::new();
         let mut p = [[Var(0); 2]; 3];
-        for i in 0..3 {
-            for j in 0..2 {
-                p[i][j] = s.new_var();
+        for row in &mut p {
+            for slot in row {
+                *slot = s.new_var();
             }
         }
-        for i in 0..3 {
-            s.add_clause(&[Lit::pos(p[i][0]), Lit::pos(p[i][1])]);
+        for row in &p {
+            s.add_clause(&[Lit::pos(row[0]), Lit::pos(row[1])]);
         }
         for j in 0..2 {
-            for i1 in 0..3 {
-                for i2 in i1 + 1..3 {
-                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+            for (i1, row1) in p.iter().enumerate() {
+                for row2 in &p[i1 + 1..] {
+                    s.add_clause(&[Lit::neg(row1[j]), Lit::neg(row2[j])]);
                 }
             }
         }
@@ -705,20 +705,19 @@ mod tests {
         let n = 6;
         let m = 5;
         let mut p = vec![vec![Var(0); m]; n];
-        for i in 0..n {
-            for (j, slot) in p[i].iter_mut().enumerate() {
-                let _ = j;
+        for row in &mut p {
+            for slot in row.iter_mut() {
                 *slot = s.new_var();
             }
         }
-        for i in 0..n {
-            let cls: Vec<Lit> = (0..m).map(|j| Lit::pos(p[i][j])).collect();
+        for row in &p {
+            let cls: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
             s.add_clause(&cls);
         }
         for j in 0..m {
-            for i1 in 0..n {
-                for i2 in i1 + 1..n {
-                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+            for (i1, row1) in p.iter().enumerate() {
+                for row2 in &p[i1 + 1..] {
+                    s.add_clause(&[Lit::neg(row1[j]), Lit::neg(row2[j])]);
                 }
             }
         }

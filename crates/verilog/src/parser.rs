@@ -134,39 +134,37 @@ impl Parser {
             always: Vec::new(),
             instances: Vec::new(),
         };
-        if self.eat_punct("(") {
-            if !self.eat_punct(")") {
-                let mut last_dir: Option<Dir> = None;
-                let mut last_range: Option<(AstExpr, AstExpr)> = None;
-                loop {
-                    let dir = if self.eat_kw("input") {
-                        Some(Dir::Input)
-                    } else if self.eat_kw("output") {
-                        Some(Dir::Output)
+        if self.eat_punct("(") && !self.eat_punct(")") {
+            let mut last_dir: Option<Dir> = None;
+            let mut last_range: Option<(AstExpr, AstExpr)> = None;
+            loop {
+                let dir = if self.eat_kw("input") {
+                    Some(Dir::Input)
+                } else if self.eat_kw("output") {
+                    Some(Dir::Output)
+                } else {
+                    None
+                };
+                if dir.is_some() {
+                    let _ = self.eat_kw("wire") || self.eat_kw("reg");
+                    last_dir = dir;
+                    last_range = if matches!(self.peek(), Tok::Punct("[")) {
+                        Some(self.range()?)
                     } else {
                         None
                     };
-                    if dir.is_some() {
-                        let _ = self.eat_kw("wire") || self.eat_kw("reg");
-                        last_dir = dir;
-                        last_range = if matches!(self.peek(), Tok::Punct("[")) {
-                            Some(self.range()?)
-                        } else {
-                            None
-                        };
-                    }
-                    let pname = self.ident()?;
-                    m.ports.push(PortDecl {
-                        name: pname,
-                        dir: last_dir,
-                        range: if last_dir.is_some() { last_range.clone() } else { None },
-                    });
-                    if !self.eat_punct(",") {
-                        break;
-                    }
                 }
-                self.expect_punct(")")?;
+                let pname = self.ident()?;
+                m.ports.push(PortDecl {
+                    name: pname,
+                    dir: last_dir,
+                    range: if last_dir.is_some() { last_range.clone() } else { None },
+                });
+                if !self.eat_punct(",") {
+                    break;
+                }
             }
+            self.expect_punct(")")?;
         }
         self.expect_punct(";")?;
         // Body items.

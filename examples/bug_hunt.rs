@@ -49,9 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // --- Simulation: spec-compliant random scenarios. ---
         let mut sim = Simulator::new(module)?;
         let mut stim = SpecCompliant::new(0xB0B + bug as u64);
-        let sim_hit = sim
-            .run_with(&mut stim, 100_000, |s| observe_symptom(s))?
-            .map(|(cycle, symptom)| (cycle, symptom));
+        let sim_hit = sim.run_with(&mut stim, 100_000, observe_symptom)?;
 
         let formal_str = match &formal {
             Some((label, len)) => format!("cex@{len} ({label})"),

@@ -104,6 +104,28 @@ proptest! {
         }
     }
 
+    /// The normalized, cache-shared, iterative ITE agrees with the
+    /// textbook recursive reference on random operand triples: same
+    /// canonical node, and the node's truth table is ite(f, g, h).
+    #[test]
+    fn ite_normalization_matches_reference(
+        tf in bool_tree(NVARS),
+        tg in bool_tree(NVARS),
+        th in bool_tree(NVARS),
+    ) {
+        let mut m = BddManager::new(1 << 18);
+        let f = tree_to_bdd(&mut m, &tf);
+        let g = tree_to_bdd(&mut m, &tg);
+        let h = tree_to_bdd(&mut m, &th);
+        let fast = m.ite(f, g, h).unwrap();
+        let reference = m.ite_reference(f, g, h).unwrap();
+        prop_assert_eq!(fast, reference, "fast ITE must build the same canonical node");
+        for asg in 0..(1u32 << NVARS) {
+            let want = if eval_tree(&tf, asg) { eval_tree(&tg, asg) } else { eval_tree(&th, asg) };
+            prop_assert_eq!(m.eval(fast, &|v| asg >> v & 1 == 1), want, "assignment {:05b}", asg);
+        }
+    }
+
     /// The AIG of a random expression equals its truth table, and the
     /// SAT encoding agrees with both: the solver finds a model exactly
     /// when the truth table has a one.

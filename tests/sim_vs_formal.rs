@@ -31,7 +31,7 @@ fn formal_finds(module: &Module) -> Option<usize> {
 fn sim_finds(module: &Module, cycles: u64) -> Option<u64> {
     let mut sim = Simulator::new(module).unwrap();
     let mut stim = SpecCompliant::new(0x7357);
-    sim.run_with(&mut stim, cycles, |s| observe_symptom(s))
+    sim.run_with(&mut stim, cycles, observe_symptom)
         .unwrap()
         .map(|(c, _)| c)
 }
