@@ -7,22 +7,36 @@
 //!
 //! Design points:
 //!
+//! * **Complement edges**: a [`NodeId`] is a node index plus a complement
+//!   tag bit, with the canonical regular-hi-edge form, so negation is an
+//!   O(1) tag flip (`!id`), `f` and `¬f` share every node, and
+//!   equivalent ITE phrasings fold onto one computed-cache entry
+//!   (Brace–Rudell–Bryant normalization).
+//! * **Mark-and-sweep garbage collection with node recycling**: external
+//!   references are declared through a lightweight root set
+//!   ([`BddManager::protect`]/[`BddManager::unprotect`]); under quota
+//!   pressure the manager collects dead intermediates, recycles their
+//!   slots, sweeps stale cache entries, and retries before raising
+//!   [`OutOfNodes`] — the quota therefore counts **live** nodes, not
+//!   nodes ever allocated.
 //! * **Hash-consed node table** with a unique table and per-operation
-//!   computed caches (ITE, AND/OR/NOT apply, quantification, difference),
-//!   all keyed with [`hash::FxHasher`] (shared with the other engines via
+//!   computed caches (ITE, AND apply — OR and difference are free
+//!   complement rewrites of it — quantification, renaming), all keyed
+//!   with [`hash::FxHasher`] (shared with the other engines via
 //!   `veridic-aig`) — dense manager ids don't need SipHash's DoS
 //!   resistance, and the multiply-xor scheme is several times faster on
 //!   tuple keys.
 //! * **Iterative, normalized ITE**: the generic ternary op runs on an
 //!   explicit work stack, so its depth is independent of both operand
-//!   structure and variable count, and canonicalizes commutative AND/OR
-//!   operand orders before cache lookup. The specialized binary applies
-//!   recurse one frame per variable level (depth bounded by the order
-//!   length).
+//!   structure and variable count, and canonicalizes operand order *and*
+//!   complement polarity before cache lookup. The specialized binary
+//!   apply recurses one frame per variable level (depth bounded by the
+//!   order length).
 //! * **Deterministic resource quota**: every operation returns
-//!   `Result<_, OutOfNodes>` and fails once the node budget is exhausted.
-//!   The model checkers convert this into a reproducible "time-out", which
-//!   is what drives the paper's Figure 7 divide-and-conquer flow.
+//!   `Result<_, OutOfNodes>` and fails once the live-node budget is
+//!   exhausted (post-GC). The model checkers convert this into a
+//!   reproducible "time-out", which is what drives the paper's Figure 7
+//!   divide-and-conquer flow.
 //! * **Relational product** (`and_exists`) as a first-class fused
 //!   operation, plus order-preserving variable renaming for the
 //!   current/next-state interleaving used by image computation.

@@ -1,24 +1,58 @@
-//! The BDD node table and basic constructors.
+//! The BDD node table and basic constructors: complement-edge node
+//! representation, the external root set, and mark-and-sweep garbage
+//! collection with node recycling.
 
 use crate::hash::{FxHashMap, FxHashSet};
 use std::error::Error;
 use std::fmt;
 
-/// Identifier of a BDD node within a [`BddManager`].
+/// Identifier of a BDD node within a [`BddManager`] — a *complement
+/// edge*: bit 0 is the complement tag, the remaining bits index the node
+/// table. `!id` (see the [`std::ops::Not`] impl) is therefore the O(1)
+/// negation of the function `id` denotes, with no manager access and no
+/// allocation.
 ///
-/// `NodeId::FALSE` and `NodeId::TRUE` are the two terminals.
+/// There is a single terminal node (index 0); [`NodeId::TRUE`] is its
+/// regular edge and [`NodeId::FALSE`] its complemented edge. Canonical
+/// form: stored nodes always have a *regular* (non-complemented) hi
+/// edge, so `f` and `¬f` share every node and equality of `NodeId`s is
+/// equality of functions.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub(crate) u32);
 
 impl NodeId {
-    /// The false terminal.
-    pub const FALSE: NodeId = NodeId(0);
-    /// The true terminal.
-    pub const TRUE: NodeId = NodeId(1);
+    /// The true terminal (the regular edge to the terminal node).
+    pub const TRUE: NodeId = NodeId(0);
+    /// The false terminal (the complemented edge to the terminal node).
+    pub const FALSE: NodeId = NodeId(1);
 
-    /// True if this node is a terminal.
+    /// True if this edge points at the terminal node.
     pub fn is_terminal(self) -> bool {
         self.0 < 2
+    }
+
+    /// True if the edge carries the complement tag.
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Index of the referenced node in the manager's table.
+    pub(crate) fn index(self) -> u32 {
+        self.0 >> 1
+    }
+
+    pub(crate) fn from_index(index: u32) -> NodeId {
+        NodeId(index << 1)
+    }
+}
+
+impl std::ops::Not for NodeId {
+    type Output = NodeId;
+
+    /// Complement edge: negation is a tag-bit flip, independent of the
+    /// manager. `!NodeId::TRUE == NodeId::FALSE`.
+    fn not(self) -> NodeId {
+        NodeId(self.0 ^ 1)
     }
 }
 
@@ -27,7 +61,8 @@ impl fmt::Debug for NodeId {
         match *self {
             NodeId::FALSE => write!(f, "F"),
             NodeId::TRUE => write!(f, "T"),
-            NodeId(n) => write!(f, "#{n}"),
+            n if n.is_complemented() => write!(f, "~#{}", n.index()),
+            n => write!(f, "#{}", n.index()),
         }
     }
 }
@@ -37,6 +72,11 @@ impl fmt::Debug for NodeId {
 /// This is the deterministic stand-in for a model-checker time-out: the
 /// same input always overflows at the same point, making the paper's
 /// "property too big, partition it" flow (Fig. 7) reproducible in tests.
+///
+/// The quota counts **live** nodes: when a root set is declared (see
+/// [`BddManager::protect`]), the manager garbage-collects dead nodes
+/// under quota pressure before raising this error, so overflow means the
+/// *live* working set genuinely does not fit.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct OutOfNodes {
     /// The configured quota that was hit.
@@ -45,7 +85,7 @@ pub struct OutOfNodes {
 
 impl fmt::Display for OutOfNodes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "BDD node quota exhausted ({} nodes)", self.quota)
+        write!(f, "BDD node quota exhausted ({} live nodes)", self.quota)
     }
 }
 
@@ -54,17 +94,32 @@ impl Error for OutOfNodes {}
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct Node {
     pub var: u32,
+    /// Else-edge; may be complemented.
     pub lo: NodeId,
+    /// Then-edge; always regular (canonical form).
     pub hi: NodeId,
 }
 
 const TERMINAL_VAR: u32 = u32::MAX;
 
-/// A Reduced Ordered BDD manager: owns the node table, unique table and
-/// computed caches. Variables are identified by `u32` levels; smaller
-/// levels are nearer the root (tested first).
+/// A Reduced Ordered BDD manager with complement edges: owns the node
+/// table, unique table, computed caches, the external root set, and the
+/// free list of recycled slots. Variables are identified by `u32`
+/// levels; smaller levels are nearer the root (tested first).
 ///
 /// All operations that may allocate return `Result<NodeId, OutOfNodes>`.
+///
+/// # Roots and garbage collection
+///
+/// Operation results are initially *unrooted*: they stay valid until the
+/// next garbage collection, which only runs under quota pressure (or via
+/// an explicit [`BddManager::gc`] call). Any `NodeId` held across later
+/// allocating calls must be registered with [`BddManager::protect`] and
+/// released with [`BddManager::unprotect`]; operands of the currently
+/// executing operation are protected automatically. As a safety valve
+/// for clients that never declare roots, automatic collection stays
+/// disabled until the first `protect` — such clients keep the historical
+/// fail-fast quota behavior instead of risking dangling ids.
 #[derive(Clone, Debug)]
 pub struct BddManager {
     pub(crate) nodes: Vec<Node>,
@@ -73,89 +128,266 @@ pub struct BddManager {
     pub(crate) exists_cache: FxHashMap<(NodeId, NodeId), NodeId>,
     pub(crate) and_exists_cache: FxHashMap<(NodeId, NodeId, NodeId), NodeId>,
     pub(crate) rename_cache: FxHashMap<(NodeId, u64), NodeId>,
-    pub(crate) diff_cache: FxHashMap<(NodeId, NodeId), NodeId>,
     pub(crate) and_cache: FxHashMap<(NodeId, NodeId), NodeId>,
-    pub(crate) or_cache: FxHashMap<(NodeId, NodeId), NodeId>,
-    pub(crate) not_cache: FxHashMap<NodeId, NodeId>,
     /// Reusable work stack of the iterative ITE (empty between calls).
     pub(crate) ite_tasks: Vec<crate::ops::IteFrame>,
     /// Reusable result stack of the iterative ITE (empty between calls).
     pub(crate) ite_results: Vec<NodeId>,
+    /// Recycled node-table slots available for reuse by `mk`.
+    free_list: Vec<u32>,
+    /// External references: node index → reference count.
+    roots: FxHashMap<u32, u32>,
     max_nodes: usize,
+    peak_live: usize,
+    total_allocated: u64,
+    total_freed: u64,
 }
 
 impl BddManager {
-    /// Creates a manager with the given node quota.
+    /// Creates a manager with the given quota on **live** nodes.
     pub fn new(max_nodes: usize) -> Self {
         BddManager {
-            nodes: vec![
-                Node { var: TERMINAL_VAR, lo: NodeId::FALSE, hi: NodeId::FALSE },
-                Node { var: TERMINAL_VAR, lo: NodeId::TRUE, hi: NodeId::TRUE },
-            ],
+            nodes: vec![Node { var: TERMINAL_VAR, lo: NodeId::TRUE, hi: NodeId::TRUE }],
             unique: FxHashMap::default(),
             ite_cache: FxHashMap::default(),
             exists_cache: FxHashMap::default(),
             and_exists_cache: FxHashMap::default(),
             rename_cache: FxHashMap::default(),
-            diff_cache: FxHashMap::default(),
             and_cache: FxHashMap::default(),
-            or_cache: FxHashMap::default(),
-            not_cache: FxHashMap::default(),
             ite_tasks: Vec::new(),
             ite_results: Vec::new(),
+            free_list: Vec::new(),
+            roots: FxHashMap::default(),
             max_nodes,
+            peak_live: 1,
+            total_allocated: 0,
+            total_freed: 0,
         }
     }
 
-    /// Number of live nodes (including terminals).
+    /// Number of **live** nodes (including the terminal): allocated slots
+    /// minus recycled ones. This is what the quota is measured against.
     pub fn num_nodes(&self) -> usize {
-        self.nodes.len()
+        self.nodes.len() - self.free_list.len()
     }
 
-    /// The configured node quota.
+    /// High-water mark of [`BddManager::num_nodes`] over the manager's
+    /// lifetime — the honest "peak memory" figure now that collection can
+    /// shrink the table.
+    pub fn peak_live_nodes(&self) -> usize {
+        self.peak_live
+    }
+
+    /// Total nodes ever allocated (monotonic; unaffected by collection).
+    /// `total_allocated - peak live` bounds how much garbage collection
+    /// reclaimed; a run with `total_allocated > quota` that completed
+    /// *needed* collection to fit.
+    pub fn total_allocated(&self) -> u64 {
+        self.total_allocated
+    }
+
+    /// Total nodes reclaimed by garbage collection (monotonic).
+    pub fn total_freed(&self) -> u64 {
+        self.total_freed
+    }
+
+    /// The configured quota on live nodes.
     pub fn quota(&self) -> usize {
         self.max_nodes
     }
 
-    /// The variable level of a node (`u32::MAX` for terminals).
+    /// The variable level of a node (`u32::MAX` for the terminal).
     pub fn node_var(&self, n: NodeId) -> u32 {
-        self.nodes[n.0 as usize].var
+        self.nodes[n.index() as usize].var
     }
 
+    /// Else-cofactor edge of `n` with `n`'s complement tag pushed through
+    /// (the cofactor of `¬f` is the complement of the cofactor of `f`).
     pub(crate) fn lo(&self, n: NodeId) -> NodeId {
-        self.nodes[n.0 as usize].lo
+        NodeId(self.nodes[n.index() as usize].lo.0 ^ (n.0 & 1))
     }
 
+    /// Then-cofactor edge of `n`, complement tag pushed through.
     pub(crate) fn hi(&self, n: NodeId) -> NodeId {
-        self.nodes[n.0 as usize].hi
+        NodeId(self.nodes[n.index() as usize].hi.0 ^ (n.0 & 1))
     }
 
     pub(crate) fn var_of(&self, n: NodeId) -> u32 {
-        self.nodes[n.0 as usize].var
+        self.nodes[n.index() as usize].var
     }
 
-    /// The reduced node `(var, lo, hi)`; applies the redundancy rule and
-    /// the unique table.
+    /// The reduced node `(var, lo, hi)`; applies the redundancy rule, the
+    /// regular-hi-edge canonicalization, and the unique table.
     pub(crate) fn mk(&mut self, var: u32, lo: NodeId, hi: NodeId) -> Result<NodeId, OutOfNodes> {
         if lo == hi {
             return Ok(lo);
         }
+        // Canonical form: the stored hi edge is regular. A complemented
+        // hi is factored out of both children and onto the result edge.
+        let neg = hi.is_complemented() as u32;
+        let (lo, hi) = (NodeId(lo.0 ^ neg), NodeId(hi.0 ^ neg));
         debug_assert!(
-            var < self.nodes[lo.0 as usize].var && var < self.nodes[hi.0 as usize].var,
+            var < self.nodes[lo.index() as usize].var && var < self.nodes[hi.index() as usize].var,
             "order violation in mk"
         );
         // One hash probe for both the hit and the miss path.
         match self.unique.entry((var, lo, hi)) {
-            std::collections::hash_map::Entry::Occupied(e) => Ok(*e.get()),
+            std::collections::hash_map::Entry::Occupied(e) => Ok(NodeId(e.get().0 ^ neg)),
             std::collections::hash_map::Entry::Vacant(e) => {
-                if self.nodes.len() >= self.max_nodes {
+                if self.nodes.len() - self.free_list.len() >= self.max_nodes {
                     return Err(OutOfNodes { quota: self.max_nodes });
                 }
-                let id = NodeId(self.nodes.len() as u32);
-                self.nodes.push(Node { var, lo, hi });
+                let index = match self.free_list.pop() {
+                    Some(i) => {
+                        self.nodes[i as usize] = Node { var, lo, hi };
+                        i
+                    }
+                    None => {
+                        self.nodes.push(Node { var, lo, hi });
+                        (self.nodes.len() - 1) as u32
+                    }
+                };
+                let id = NodeId::from_index(index);
                 e.insert(id);
-                Ok(id)
+                self.total_allocated += 1;
+                let live = self.nodes.len() - self.free_list.len();
+                if live > self.peak_live {
+                    self.peak_live = live;
+                }
+                Ok(NodeId(id.0 ^ neg))
             }
+        }
+    }
+
+    /// Registers `n`'s node as an external root (reference-counted): it
+    /// and everything reachable from it survive garbage collection.
+    /// Protecting `f` also protects `¬f` (they share every node).
+    /// Terminals need no protection. The first `protect` call also arms
+    /// automatic collection under quota pressure.
+    pub fn protect(&mut self, n: NodeId) {
+        if !n.is_terminal() {
+            *self.roots.entry(n.index()).or_insert(0) += 1;
+        }
+    }
+
+    /// Releases one [`BddManager::protect`] registration of `n`.
+    pub fn unprotect(&mut self, n: NodeId) {
+        if n.is_terminal() {
+            return;
+        }
+        match self.roots.get_mut(&n.index()) {
+            Some(c) if *c > 1 => *c -= 1,
+            Some(_) => {
+                self.roots.remove(&n.index());
+            }
+            None => debug_assert!(false, "unprotect of a non-root {n:?}"),
+        }
+    }
+
+    /// Atomically re-points one protection from `old` to `new` — the
+    /// idiom for updating a held accumulator (`reached`, `frontier`, …).
+    pub fn reroot(&mut self, old: NodeId, new: NodeId) {
+        self.protect(new);
+        self.unprotect(old);
+    }
+
+    /// Number of distinct protected node indices (diagnostic).
+    pub fn num_roots(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Mark-and-sweep garbage collection: frees every node not reachable
+    /// from the root set, recycles the slots, and drops computed-cache
+    /// and unique-table entries that mention a dead node. Returns the
+    /// number of nodes freed.
+    ///
+    /// Any unprotected `NodeId` obtained before this call dangles after
+    /// it (unless reachable from a root); see the struct-level contract.
+    pub fn gc(&mut self) -> usize {
+        self.gc_with_temps(&[])
+    }
+
+    /// GC with additional temporary roots (the operands of an in-flight
+    /// operation that is retrying under quota pressure).
+    pub(crate) fn gc_with_temps(&mut self, temps: &[NodeId]) -> usize {
+        let n = self.nodes.len();
+        let mut marked = vec![false; n];
+        marked[0] = true; // the terminal is immortal
+        let mut stack: Vec<u32> = self.roots.keys().copied().collect();
+        stack.extend(temps.iter().filter(|t| !t.is_terminal()).map(|t| t.index()));
+        while let Some(i) = stack.pop() {
+            let i = i as usize;
+            if marked[i] {
+                continue;
+            }
+            marked[i] = true;
+            let node = self.nodes[i];
+            stack.push(node.lo.index());
+            stack.push(node.hi.index());
+        }
+        // Already-recycled slots must not be freed twice.
+        for &i in &self.free_list {
+            marked[i as usize] = true;
+        }
+        let mut freed = 0usize;
+        for (i, m) in marked.iter().enumerate().skip(1) {
+            if !m {
+                let node = self.nodes[i];
+                self.unique.remove(&(node.var, node.lo, node.hi));
+                self.nodes[i] = Node { var: TERMINAL_VAR, lo: NodeId::TRUE, hi: NodeId::TRUE };
+                self.free_list.push(i as u32);
+                freed += 1;
+            }
+        }
+        if freed > 0 {
+            self.total_freed += freed as u64;
+            let live = |id: NodeId| marked[id.index() as usize];
+            self.ite_cache
+                .retain(|&(f, g, h), r| live(f) && live(g) && live(h) && live(*r));
+            self.and_cache.retain(|&(f, g), r| live(f) && live(g) && live(*r));
+            self.exists_cache.retain(|&(f, c), r| live(f) && live(c) && live(*r));
+            self.and_exists_cache
+                .retain(|&(f, g, c), r| live(f) && live(g) && live(c) && live(*r));
+            self.rename_cache.retain(|&(f, _), r| live(f) && live(*r));
+        }
+        freed
+    }
+
+    /// Runs `op`; on quota exhaustion, garbage-collects (with `temps` as
+    /// extra roots) and retries once. Collection under pressure is only
+    /// armed once a root set exists — a client that declared no roots
+    /// gets the plain fail-fast behavior, because without roots the
+    /// manager cannot tell its held ids from garbage.
+    ///
+    /// Hopeless retries are cut off: the failed attempt's own partial
+    /// results are garbage (nothing roots them), so the retry must
+    /// re-allocate roughly everything the attempt did *and then keep
+    /// going*. The retry runs only when the post-GC live set plus the
+    /// attempt's allocation count fits within 7/8 of the quota — the
+    /// reserved eighth is continuation headroom, so a retry that merely
+    /// re-reaches the attempt's death point is not paid for twice, while
+    /// failures caused by since-collected inter-op garbage (superseded
+    /// frontiers, abandoned accumulators) still get their second chance.
+    pub(crate) fn run_with_gc<T>(
+        &mut self,
+        temps: &[NodeId],
+        mut op: impl FnMut(&mut Self) -> Result<T, OutOfNodes>,
+    ) -> Result<T, OutOfNodes> {
+        let allocated_before = self.total_allocated;
+        match op(self) {
+            Err(e) => {
+                if self.roots.is_empty() || self.gc_with_temps(temps) == 0 {
+                    return Err(e);
+                }
+                let attempt = (self.total_allocated - allocated_before) as usize;
+                let live = self.nodes.len() - self.free_list.len();
+                let headroom = self.max_nodes - self.max_nodes / 8;
+                if live.saturating_add(attempt) > headroom {
+                    return Err(e);
+                }
+                op(self)
+            }
+            ok => ok,
         }
     }
 
@@ -163,18 +395,21 @@ impl BddManager {
     ///
     /// # Errors
     ///
-    /// Returns [`OutOfNodes`] if the quota is exhausted.
+    /// Returns [`OutOfNodes`] if the quota is exhausted even after
+    /// garbage collection.
     pub fn var(&mut self, v: u32) -> Result<NodeId, OutOfNodes> {
-        self.mk(v, NodeId::FALSE, NodeId::TRUE)
+        self.run_with_gc(&[], |m| m.mk(v, NodeId::FALSE, NodeId::TRUE))
     }
 
-    /// The BDD for a negated variable.
+    /// The BDD for a negated variable (the complement edge of
+    /// [`BddManager::var`]).
     ///
     /// # Errors
     ///
-    /// Returns [`OutOfNodes`] if the quota is exhausted.
+    /// Returns [`OutOfNodes`] if the quota is exhausted even after
+    /// garbage collection.
     pub fn nvar(&mut self, v: u32) -> Result<NodeId, OutOfNodes> {
-        self.mk(v, NodeId::TRUE, NodeId::FALSE)
+        Ok(!self.var(v)?)
     }
 
     /// Constant BDD from a boolean.
@@ -186,18 +421,21 @@ impl BddManager {
         }
     }
 
-    /// Counts the nodes reachable from `f` (its size).
+    /// Counts the nodes reachable from `f` (its size), terminal included.
+    /// With complement edges there is exactly one terminal node, and
+    /// every function — constants included — reaches it, so
+    /// `size(TRUE) == 1` and `size(var) == 2`.
     pub fn size(&self, f: NodeId) -> usize {
-        let mut seen = FxHashSet::default();
+        let mut seen: FxHashSet<u32> = FxHashSet::default();
         let mut stack = vec![f];
         while let Some(n) = stack.pop() {
-            if n.is_terminal() || !seen.insert(n) {
+            if n.is_terminal() || !seen.insert(n.index()) {
                 continue;
             }
             stack.push(self.lo(n));
             stack.push(self.hi(n));
         }
-        seen.len() + 2
+        seen.len() + 1
     }
 
     /// Evaluates `f` under a full assignment (`assign(var)` = value).
@@ -217,17 +455,16 @@ impl BddManager {
         self.exists_cache.clear();
         self.and_exists_cache.clear();
         self.rename_cache.clear();
-        self.diff_cache.clear();
         self.and_cache.clear();
-        self.or_cache.clear();
-        self.not_cache.clear();
     }
 
     /// Number of satisfying assignments of `f` over `nvars` variables
     /// (variables `0..nvars`), as `f64` (exact for small counts).
     pub fn count_sat(&self, f: NodeId, nvars: u32) -> f64 {
         let mut memo: FxHashMap<NodeId, f64> = FxHashMap::default();
-        // count(n) = number of solutions below n, over vars var(n)..nvars
+        // count(n) = number of solutions below n, over vars var(n)..nvars.
+        // The memo is keyed on the full edge (complement tag included),
+        // so f and ¬f each get their own entry.
         fn go(
             m: &BddManager,
             n: NodeId,
@@ -267,7 +504,9 @@ mod tests {
         let m = BddManager::new(100);
         assert!(NodeId::FALSE.is_terminal());
         assert!(NodeId::TRUE.is_terminal());
-        assert_eq!(m.num_nodes(), 2);
+        // One shared terminal node; FALSE is its complement edge.
+        assert_eq!(m.num_nodes(), 1);
+        assert_eq!(!NodeId::TRUE, NodeId::FALSE);
         assert_eq!(m.constant(true), NodeId::TRUE);
     }
 
@@ -280,13 +519,17 @@ mod tests {
         // Redundancy: mk(v, x, x) == x
         let r = m.mk(3, a1, a1).unwrap();
         assert_eq!(r, a1);
+        // Complement canonicalization: nvar shares var's node.
+        let na = m.nvar(0).unwrap();
+        assert_eq!(na, !a1);
+        assert_eq!(m.num_nodes(), 2, "x and ¬x share one node");
     }
 
     #[test]
     fn quota_enforced() {
-        let mut m = BddManager::new(3); // terminals + 1 node
+        let mut m = BddManager::new(2); // terminal + 1 node
         assert!(m.var(0).is_ok());
-        assert!(matches!(m.var(1), Err(OutOfNodes { quota: 3 })));
+        assert!(matches!(m.var(1), Err(OutOfNodes { quota: 2 })));
     }
 
     #[test]
@@ -297,6 +540,21 @@ mod tests {
         assert!(!m.eval(a, &|_| false));
         let na = m.nvar(0).unwrap();
         assert!(!m.eval(na, &|_| true));
+    }
+
+    #[test]
+    fn size_counts_reachable_nodes_exactly() {
+        // Regression: size used to report `seen + 2` unconditionally,
+        // over-counting constants and every function by one terminal.
+        let mut m = BddManager::new(100);
+        assert_eq!(m.size(NodeId::TRUE), 1);
+        assert_eq!(m.size(NodeId::FALSE), 1);
+        let a = m.var(0).unwrap();
+        assert_eq!(m.size(a), 2, "one decision node + the terminal");
+        assert_eq!(m.size(!a), 2, "complement shares the node");
+        let b = m.var(1).unwrap();
+        let x = m.ite(a, !b, b).unwrap(); // a XOR b
+        assert_eq!(m.size(x), 3, "xor is linear with complement edges");
     }
 
     #[test]
@@ -314,5 +572,103 @@ mod tests {
         let mut m = BddManager::new(100);
         let b = m.var(1).unwrap(); // var 1 out of vars {0,1}
         assert_eq!(m.count_sat(b, 2), 2.0);
+    }
+
+    #[test]
+    fn gc_frees_unrooted_keeps_rooted() {
+        let mut m = BddManager::new(1 << 16);
+        let a = m.var(0).unwrap();
+        let b = m.var(1).unwrap();
+        let keep = m.and(a, b).unwrap();
+        let dead = m.xor(a, b).unwrap();
+        m.protect(keep);
+        m.protect(a);
+        m.protect(b);
+        let live_before = m.num_nodes();
+        let freed = m.gc();
+        assert!(freed > 0, "the xor node must be collected");
+        assert_eq!(m.num_nodes(), live_before - freed);
+        // Rooted functions still evaluate correctly.
+        assert!(m.eval(keep, &|_| true));
+        assert!(!m.eval(keep, &|_| false));
+        let _ = dead; // dangling by contract — must not be used again
+        // Slots are recycled: rebuilding allocates into freed space.
+        let len_before = m.nodes.len();
+        let x2 = m.xor(a, b).unwrap();
+        assert_eq!(m.nodes.len(), len_before, "mk must reuse freed slots");
+        assert!(m.eval(x2, &|v| v == 0));
+    }
+
+    #[test]
+    fn gc_under_quota_pressure_recovers() {
+        // Quota sized so building junk then the target only fits if the
+        // junk is collected: roots armed => automatic GC inside ops.
+        let mut m = BddManager::new(24);
+        let vars: Vec<NodeId> = (0..6).map(|v| m.var(v).unwrap()).collect();
+        for &v in &vars {
+            m.protect(v);
+        }
+        // Junk: a chain of xors, immediately dropped.
+        let mut junk = m.xor(vars[0], vars[1]).unwrap();
+        m.protect(junk);
+        for &v in &vars[2..] {
+            let j2 = m.xor(junk, v).unwrap();
+            m.reroot(junk, j2);
+            junk = j2;
+        }
+        m.unprotect(junk);
+        let allocated_before = m.total_allocated();
+        // A conjunction chain that needs the junk's slots back.
+        let mut acc = vars[0];
+        m.protect(acc);
+        for &v in &vars[1..] {
+            let a2 = m.and(acc, v).unwrap();
+            m.reroot(acc, a2);
+            acc = a2;
+        }
+        assert!(m.total_freed() > 0, "quota pressure must have triggered GC");
+        assert!(m.total_allocated() > allocated_before);
+        assert!(m.eval(acc, &|_| true));
+        assert!(!m.eval(acc, &|v| v != 3));
+    }
+
+    #[test]
+    fn unrooted_manager_keeps_fail_fast_quota() {
+        // Without any protect() call the manager must not GC on pressure
+        // (it cannot know which ids the caller still holds).
+        let mut m = BddManager::new(8);
+        let mut f = m.var(0).unwrap();
+        let mut overflowed = false;
+        for v in 1..20 {
+            match m.var(v).and_then(|x| m.xor(f, x)) {
+                Ok(g) => f = g,
+                Err(_) => {
+                    overflowed = true;
+                    break;
+                }
+            }
+        }
+        assert!(overflowed, "tiny quota must overflow without roots");
+        assert_eq!(m.total_freed(), 0, "no GC without a root set");
+    }
+
+    #[test]
+    fn protect_is_refcounted() {
+        let mut m = BddManager::new(100);
+        let a = m.var(0).unwrap();
+        let b = m.var(1).unwrap();
+        let f = m.and(a, b).unwrap();
+        m.protect(a);
+        m.protect(b);
+        m.protect(f);
+        m.protect(f);
+        m.unprotect(f);
+        assert_eq!(m.num_roots(), 3, "f's registration must remain");
+        let live = m.num_nodes();
+        m.gc();
+        assert_eq!(m.num_nodes(), live, "all roots and cones stay live");
+        m.unprotect(f);
+        m.gc();
+        assert_eq!(m.num_nodes(), live - 1, "f's node is now collectable");
     }
 }

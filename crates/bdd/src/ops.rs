@@ -1,5 +1,13 @@
 //! BDD operations: ITE, boolean connectives, quantification, relational
 //! product, variable renaming, satisfying-assignment extraction.
+//!
+//! With complement edges, negation ([`BddManager::not`]) is a tag-bit
+//! flip — no traversal, no allocation, no cache — and the remaining
+//! connectives derive from two primitives: the generic iterative ITE and
+//! a specialized binary AND (`or` is `¬(¬f ∧ ¬g)`, `and_not` is
+//! `f ∧ ¬g`, both O(1) rewrites). Each public entry point retries once
+//! after a garbage collection when the node quota is hit (see the
+//! [`BddManager`] root-set contract).
 
 use crate::hash::FxHashMap;
 use crate::manager::{BddManager, NodeId, OutOfNodes};
@@ -9,51 +17,113 @@ use crate::manager::{BddManager, NodeId, OutOfNodes};
 pub(crate) enum IteFrame {
     /// Evaluate `ite(f, g, h)` and push its node onto the result stack.
     Apply(NodeId, NodeId, NodeId),
-    /// Pop the two cofactor results, build the node at level `v`, cache it
-    /// under the normalized `key`.
-    Reduce { v: u32, key: (NodeId, NodeId, NodeId) },
+    /// Pop the two cofactor results, build the node at level `v`, cache
+    /// it under the normalized `key`, and push the result complemented
+    /// by `neg`.
+    Reduce { v: u32, key: (NodeId, NodeId, NodeId), neg: bool },
 }
 
-/// Canonicalizes an ITE triple whose `f` is known non-terminal.
+/// Outcome of [`normalize_ite`].
+enum Norm {
+    /// The triple collapsed to an existing function.
+    Done(NodeId),
+    /// Canonical triple (`f` and `g` regular) plus an output-complement
+    /// flag.
+    Rec(NodeId, NodeId, NodeId, bool),
+}
+
+/// Canonicalizes an ITE triple whose `f` is known non-terminal — the
+/// standard complement-edge normalization (Brace–Rudell–Bryant):
 ///
-/// Without complement edges two argument rewrites apply: conjunctions
-/// `ite(f, g, FALSE)` and disjunctions `ite(f, TRUE, h)` are commutative
-/// in `(f, g)` resp. `(f, h)`, so ordering the pair by node id makes the
-/// two operand orders share one computed-cache entry.
-#[inline]
-fn normalize_ite(mut f: NodeId, mut g: NodeId, mut h: NodeId) -> (NodeId, NodeId, NodeId) {
-    // ite(f, f, h) = ite(f, TRUE, h);  ite(f, g, f) = ite(f, g, FALSE).
+/// 1. replace `g`/`h` by constants where they equal `±f`;
+/// 2. rewrite the commutative forms (`AND`, `OR`, `NAND`-ish, `NOR`-ish,
+///    `XOR`-ish) so the operand with the smaller node index comes first;
+/// 3. make `f` regular (swapping `g`/`h`), then make `g` regular
+///    (complementing the output).
+///
+/// Together these fold up to eight equivalent triples onto one computed
+/// cache entry, which is where the "cache sharing between `f` and `¬f`"
+/// win of complement edges comes from.
+fn normalize_ite(mut f: NodeId, mut g: NodeId, mut h: NodeId) -> Norm {
+    // ite(f, f, h) = ite(f, T, h);  ite(f, ¬f, h) = ite(f, F, h).
     if g == f {
         g = NodeId::TRUE;
+    } else if g == !f {
+        g = NodeId::FALSE;
     }
+    // ite(f, g, f) = ite(f, g, F);  ite(f, g, ¬f) = ite(f, g, T).
     if h == f {
         h = NodeId::FALSE;
+    } else if h == !f {
+        h = NodeId::TRUE;
     }
-    // AND: ite(f, g, FALSE) = ite(g, f, FALSE) — smaller id first.
-    if h == NodeId::FALSE && !g.is_terminal() && g < f {
+    if g == h {
+        return Norm::Done(g);
+    }
+    if g == NodeId::TRUE && h == NodeId::FALSE {
+        return Norm::Done(f);
+    }
+    if g == NodeId::FALSE && h == NodeId::TRUE {
+        return Norm::Done(!f);
+    }
+    // Commutative rewrites: order the two non-constant operands by node
+    // index. (Equal indices are impossible: g = ±f was folded above.)
+    if h == NodeId::FALSE && g.index() < f.index() {
+        // AND: ite(f, g, F) = ite(g, f, F).
         std::mem::swap(&mut f, &mut g);
-    }
-    // OR: ite(f, TRUE, h) = ite(h, TRUE, f) — smaller id first.
-    if g == NodeId::TRUE && !h.is_terminal() && h < f {
+    } else if g == NodeId::TRUE && h.index() < f.index() {
+        // OR: ite(f, T, h) = ite(h, T, f).
         std::mem::swap(&mut f, &mut h);
+    } else if h == NodeId::TRUE && g.index() < f.index() {
+        // ite(f, g, T) = ite(¬g, ¬f, T).
+        let (nf, ng) = (!f, !g);
+        f = ng;
+        g = nf;
+    } else if g == NodeId::FALSE && h.index() < f.index() {
+        // ite(f, F, h) = ite(¬h, F, ¬f).
+        let (nf, nh) = (!f, !h);
+        f = nh;
+        h = nf;
+    } else if h == !g && !g.is_terminal() && g.index() < f.index() {
+        // XOR-ish: ite(f, g, ¬g) = ite(g, f, ¬f).
+        let (of, og) = (f, g);
+        f = og;
+        g = of;
+        h = !of;
     }
-    (f, g, h)
+    // Canonical polarity: regular f (swap branches), then regular g
+    // (complement both branches and the output).
+    if f.is_complemented() {
+        f = !f;
+        std::mem::swap(&mut g, &mut h);
+    }
+    let neg = g.is_complemented();
+    if neg {
+        g = !g;
+        h = !h;
+    }
+    Norm::Rec(f, g, h, neg)
 }
 
 impl BddManager {
     /// If-then-else: the universal ternary connective.
     ///
     /// Runs iteratively on an explicit stack (deep operand chains cannot
-    /// overflow the call stack) and canonicalizes each triple before the
-    /// computed-cache lookup, so commuted AND/OR operand orders hit the
-    /// same entry.
+    /// overflow the call stack) and canonicalizes each triple — operand
+    /// order *and* complement polarity — before the computed-cache
+    /// lookup, so all equivalent phrasings of a query hit one entry.
     ///
     /// # Errors
     ///
-    /// Returns [`OutOfNodes`] when the quota is exhausted.
+    /// Returns [`OutOfNodes`] when the quota is exhausted even after
+    /// garbage collection.
     pub fn ite(&mut self, f: NodeId, g: NodeId, h: NodeId) -> Result<NodeId, OutOfNodes> {
+        self.run_with_gc(&[f, g, h], |m| m.ite_run(f, g, h))
+    }
+
+    fn ite_run(&mut self, f: NodeId, g: NodeId, h: NodeId) -> Result<NodeId, OutOfNodes> {
         // The work stacks live in the manager so the frequent small ITEs
-        // (every and/or/not goes through here) reuse their allocations.
+        // (every xor/implies goes through here) reuse their allocations.
         let mut tasks = std::mem::take(&mut self.ite_tasks);
         let mut results = std::mem::take(&mut self.ite_results);
         tasks.push(IteFrame::Apply(f, g, h));
@@ -70,17 +140,15 @@ impl BddManager {
                         results.push(h);
                         continue;
                     }
-                    let (f, g, h) = normalize_ite(f, g, h);
-                    if g == h {
-                        results.push(g);
-                        continue;
-                    }
-                    if g == NodeId::TRUE && h == NodeId::FALSE {
-                        results.push(f);
-                        continue;
-                    }
+                    let (f, g, h, neg) = match normalize_ite(f, g, h) {
+                        Norm::Done(r) => {
+                            results.push(r);
+                            continue;
+                        }
+                        Norm::Rec(f, g, h, neg) => (f, g, h, neg),
+                    };
                     if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
-                        results.push(r);
+                        results.push(if neg { !r } else { r });
                         continue;
                     }
                     let v = self
@@ -92,17 +160,17 @@ impl BddManager {
                     let (h0, h1) = self.cofactors(h, v);
                     // LIFO: the lo-branch Apply runs first and pushes its
                     // result below the hi-branch's.
-                    tasks.push(IteFrame::Reduce { v, key: (f, g, h) });
+                    tasks.push(IteFrame::Reduce { v, key: (f, g, h), neg });
                     tasks.push(IteFrame::Apply(f1, g1, h1));
                     tasks.push(IteFrame::Apply(f0, g0, h0));
                 }
-                IteFrame::Reduce { v, key } => {
+                IteFrame::Reduce { v, key, neg } => {
                     let hi = results.pop().expect("hi cofactor result");
                     let lo = results.pop().expect("lo cofactor result");
                     match self.mk(v, lo, hi) {
                         Ok(r) => {
                             self.ite_cache.insert(key, r);
-                            results.push(r);
+                            results.push(if neg { !r } else { r });
                         }
                         Err(e) => {
                             failed = Some(e);
@@ -128,7 +196,9 @@ impl BddManager {
 
     /// The textbook recursive ITE without argument normalization or the
     /// shared computed cache — the semantic reference the fast path is
-    /// property-tested against. Not part of the public API.
+    /// property-tested against (it never folds complemented triples, so
+    /// it pins the complement-edge canonicalization too). Not part of
+    /// the public API.
     ///
     /// # Errors
     ///
@@ -181,7 +251,8 @@ impl BddManager {
     }
 
     /// Cofactors of `n` with respect to variable `v` (which must be at or
-    /// above `n`'s top variable).
+    /// above `n`'s top variable). Complement tags propagate to the
+    /// cofactors.
     fn cofactors(&self, n: NodeId, v: u32) -> (NodeId, NodeId) {
         if self.var_of(n) == v {
             (self.lo(n), self.hi(n))
@@ -190,31 +261,10 @@ impl BddManager {
         }
     }
 
-    /// Negation. Specialized unary apply with its own cache — negation is
-    /// hot enough (XNOR transition relations, complemented AIG literals)
-    /// to deserve single-key probes instead of ITE triples.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`OutOfNodes`] when the quota is exhausted.
-    pub fn not(&mut self, f: NodeId) -> Result<NodeId, OutOfNodes> {
-        if f == NodeId::FALSE {
-            return Ok(NodeId::TRUE);
-        }
-        if f == NodeId::TRUE {
-            return Ok(NodeId::FALSE);
-        }
-        if let Some(&r) = self.not_cache.get(&f) {
-            return Ok(r);
-        }
-        let v = self.var_of(f);
-        let lo = self.not(self.lo(f))?;
-        let hi = self.not(self.hi(f))?;
-        let r = self.mk(v, lo, hi)?;
-        self.not_cache.insert(f, r);
-        // Negation is an involution: prime the inverse entry for free.
-        self.not_cache.insert(r, f);
-        Ok(r)
+    /// Negation: with complement edges this is a tag-bit flip — O(1), no
+    /// allocation, cannot fail, and `f` and `¬f` share every node.
+    pub fn not(&self, f: NodeId) -> NodeId {
+        !f
     }
 
     /// Conjunction. Specialized binary apply: the generic ITE would model
@@ -223,8 +273,13 @@ impl BddManager {
     ///
     /// # Errors
     ///
-    /// Returns [`OutOfNodes`] when the quota is exhausted.
+    /// Returns [`OutOfNodes`] when the quota is exhausted even after
+    /// garbage collection.
     pub fn and(&mut self, f: NodeId, g: NodeId) -> Result<NodeId, OutOfNodes> {
+        self.run_with_gc(&[f, g], |m| m.and_rec(f, g))
+    }
+
+    fn and_rec(&mut self, f: NodeId, g: NodeId) -> Result<NodeId, OutOfNodes> {
         if f == NodeId::TRUE {
             return Ok(g);
         }
@@ -237,6 +292,9 @@ impl BddManager {
         if f == g {
             return Ok(f);
         }
+        if f == !g {
+            return Ok(NodeId::FALSE);
+        }
         let key = (f.min(g), f.max(g));
         if let Some(&r) = self.and_cache.get(&key) {
             return Ok(r);
@@ -244,100 +302,68 @@ impl BddManager {
         let v = self.var_of(f).min(self.var_of(g));
         let (f0, f1) = self.cofactors(f, v);
         let (g0, g1) = self.cofactors(g, v);
-        let lo = self.and(f0, g0)?;
-        let hi = self.and(f1, g1)?;
+        let lo = self.and_rec(f0, g0)?;
+        let hi = self.and_rec(f1, g1)?;
         let r = self.mk(v, lo, hi)?;
         self.and_cache.insert(key, r);
         Ok(r)
     }
 
-    /// Disjunction. Specialized like [`BddManager::and`].
+    /// Internal disjunction via De Morgan — three O(1) complements
+    /// around the AND apply, sharing its computed cache.
+    fn or_rec(&mut self, f: NodeId, g: NodeId) -> Result<NodeId, OutOfNodes> {
+        Ok(!self.and_rec(!f, !g)?)
+    }
+
+    /// Disjunction: `¬(¬f ∧ ¬g)`; the complements are free, so this
+    /// shares the AND cache instead of keeping its own.
     ///
     /// # Errors
     ///
-    /// Returns [`OutOfNodes`] when the quota is exhausted.
+    /// Returns [`OutOfNodes`] when the quota is exhausted even after
+    /// garbage collection.
     pub fn or(&mut self, f: NodeId, g: NodeId) -> Result<NodeId, OutOfNodes> {
-        if f == NodeId::FALSE {
-            return Ok(g);
-        }
-        if g == NodeId::FALSE {
-            return Ok(f);
-        }
-        if f == NodeId::TRUE || g == NodeId::TRUE {
-            return Ok(NodeId::TRUE);
-        }
-        if f == g {
-            return Ok(f);
-        }
-        let key = (f.min(g), f.max(g));
-        if let Some(&r) = self.or_cache.get(&key) {
-            return Ok(r);
-        }
-        let v = self.var_of(f).min(self.var_of(g));
-        let (f0, f1) = self.cofactors(f, v);
-        let (g0, g1) = self.cofactors(g, v);
-        let lo = self.or(f0, g0)?;
-        let hi = self.or(f1, g1)?;
-        let r = self.mk(v, lo, hi)?;
-        self.or_cache.insert(key, r);
-        Ok(r)
+        self.run_with_gc(&[f, g], |m| m.or_rec(f, g))
     }
 
     /// Exclusive or.
     ///
     /// # Errors
     ///
-    /// Returns [`OutOfNodes`] when the quota is exhausted.
+    /// Returns [`OutOfNodes`] when the quota is exhausted even after
+    /// garbage collection.
     pub fn xor(&mut self, f: NodeId, g: NodeId) -> Result<NodeId, OutOfNodes> {
-        let ng = self.not(g)?;
-        self.ite(f, ng, g)
+        self.ite(f, !g, g)
     }
 
-    /// Equivalence.
+    /// Equivalence: the free complement of [`BddManager::xor`].
     ///
     /// # Errors
     ///
-    /// Returns [`OutOfNodes`] when the quota is exhausted.
+    /// Returns [`OutOfNodes`] when the quota is exhausted even after
+    /// garbage collection.
     pub fn xnor(&mut self, f: NodeId, g: NodeId) -> Result<NodeId, OutOfNodes> {
-        let ng = self.not(g)?;
-        self.ite(f, g, ng)
+        Ok(!self.xor(f, g)?)
     }
 
-    /// Fused difference `f ∧ ¬g` — the frontier-minus-reached step of
-    /// image computation. Builds the difference directly instead of
-    /// materializing the complement of `g` (which for a multi-million
-    /// node reached set would burn most of the quota on dead nodes).
+    /// Difference `f ∧ ¬g` — the frontier-minus-reached step of image
+    /// computation. With complement edges the complement of `g` is free,
+    /// so this is a plain AND (one cache, no separate difference cache,
+    /// and no materialized complement of a multi-million-node set).
     ///
     /// # Errors
     ///
-    /// Returns [`OutOfNodes`] when the quota is exhausted.
+    /// Returns [`OutOfNodes`] when the quota is exhausted even after
+    /// garbage collection.
     pub fn and_not(&mut self, f: NodeId, g: NodeId) -> Result<NodeId, OutOfNodes> {
-        if f == NodeId::FALSE || g == NodeId::TRUE || f == g {
-            return Ok(NodeId::FALSE);
-        }
-        if g == NodeId::FALSE {
-            return Ok(f);
-        }
-        if f == NodeId::TRUE {
-            return self.not(g);
-        }
-        if let Some(&r) = self.diff_cache.get(&(f, g)) {
-            return Ok(r);
-        }
-        let v = self.var_of(f).min(self.var_of(g));
-        let (f0, f1) = self.cofactors(f, v);
-        let (g0, g1) = self.cofactors(g, v);
-        let lo = self.and_not(f0, g0)?;
-        let hi = self.and_not(f1, g1)?;
-        let r = self.mk(v, lo, hi)?;
-        self.diff_cache.insert((f, g), r);
-        Ok(r)
+        self.and(f, !g)
     }
 
     /// True iff `f ∧ g` is satisfiable, decided by pure traversal: no
     /// nodes are built and no quota is consumed, unlike testing
-    /// `and(f, g) != FALSE`. Relies on the ROBDD invariant that every
-    /// non-FALSE node has a path to TRUE.
+    /// `and(f, g) != FALSE`. Relies on the complement-edge invariant
+    /// that every non-constant function is both satisfiable and
+    /// refutable.
     pub fn intersects(&self, f: NodeId, g: NodeId) -> bool {
         fn go(
             m: &BddManager,
@@ -351,6 +377,12 @@ impl BddManager {
             if f == NodeId::TRUE || g == NodeId::TRUE {
                 // The other operand is non-FALSE, hence satisfiable.
                 return true;
+            }
+            if f == !g {
+                return false; // disjoint by construction
+            }
+            if f == g {
+                return true; // non-constant, hence satisfiable
             }
             if !seen.insert((f, g)) {
                 return false; // already explored, found nothing
@@ -368,7 +400,8 @@ impl BddManager {
     ///
     /// # Errors
     ///
-    /// Returns [`OutOfNodes`] when the quota is exhausted.
+    /// Returns [`OutOfNodes`] when the quota is exhausted even after
+    /// garbage collection.
     pub fn implies(&mut self, f: NodeId, g: NodeId) -> Result<NodeId, OutOfNodes> {
         self.ite(f, g, NodeId::TRUE)
     }
@@ -378,11 +411,10 @@ impl BddManager {
     ///
     /// # Errors
     ///
-    /// Returns [`OutOfNodes`] when the quota is exhausted.
+    /// Returns [`OutOfNodes`] when the quota is exhausted even after
+    /// garbage collection.
     pub fn implies_check(&mut self, f: NodeId, g: NodeId) -> Result<bool, OutOfNodes> {
-        let ng = self.not(g)?;
-        let bad = self.and(f, ng)?;
-        Ok(bad == NodeId::FALSE)
+        Ok(self.and(f, !g)? == NodeId::FALSE)
     }
 
     /// Builds the positive cube of the given variables (sorted ascending
@@ -390,24 +422,32 @@ impl BddManager {
     ///
     /// # Errors
     ///
-    /// Returns [`OutOfNodes`] when the quota is exhausted.
+    /// Returns [`OutOfNodes`] when the quota is exhausted even after
+    /// garbage collection.
     pub fn cube(&mut self, vars: &[u32]) -> Result<NodeId, OutOfNodes> {
         let mut sorted = vars.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
-        let mut acc = NodeId::TRUE;
-        for &v in sorted.iter().rev() {
-            acc = self.mk(v, NodeId::FALSE, acc)?;
-        }
-        Ok(acc)
+        self.run_with_gc(&[], |m| {
+            let mut acc = NodeId::TRUE;
+            for &v in sorted.iter().rev() {
+                acc = m.mk(v, NodeId::FALSE, acc)?;
+            }
+            Ok(acc)
+        })
     }
 
     /// Existential quantification of every variable in `cube` from `f`.
     ///
     /// # Errors
     ///
-    /// Returns [`OutOfNodes`] when the quota is exhausted.
+    /// Returns [`OutOfNodes`] when the quota is exhausted even after
+    /// garbage collection.
     pub fn exists(&mut self, f: NodeId, cube: NodeId) -> Result<NodeId, OutOfNodes> {
+        self.run_with_gc(&[f, cube], |m| m.exists_rec(f, cube))
+    }
+
+    fn exists_rec(&mut self, f: NodeId, cube: NodeId) -> Result<NodeId, OutOfNodes> {
         if f.is_terminal() || cube == NodeId::TRUE {
             return Ok(f);
         }
@@ -425,28 +465,28 @@ impl BddManager {
         }
         let cv = self.var_of(c);
         let r = if fv == cv {
-            let lo = self.exists(self.lo(f), self.hi(c))?;
-            let hi = self.exists(self.hi(f), self.hi(c))?;
-            self.or(lo, hi)?
+            let lo = self.exists_rec(self.lo(f), self.hi(c))?;
+            let hi = self.exists_rec(self.hi(f), self.hi(c))?;
+            self.or_rec(lo, hi)?
         } else {
             debug_assert!(fv < cv);
-            let lo = self.exists(self.lo(f), c)?;
-            let hi = self.exists(self.hi(f), c)?;
+            let lo = self.exists_rec(self.lo(f), c)?;
+            let hi = self.exists_rec(self.hi(f), c)?;
             self.mk(fv, lo, hi)?
         };
         self.exists_cache.insert((f, cube), r);
         Ok(r)
     }
 
-    /// Universal quantification.
+    /// Universal quantification: `¬∃ cube. ¬f`, with both complements
+    /// free.
     ///
     /// # Errors
     ///
-    /// Returns [`OutOfNodes`] when the quota is exhausted.
+    /// Returns [`OutOfNodes`] when the quota is exhausted even after
+    /// garbage collection.
     pub fn forall(&mut self, f: NodeId, cube: NodeId) -> Result<NodeId, OutOfNodes> {
-        let nf = self.not(f)?;
-        let e = self.exists(nf, cube)?;
-        self.not(e)
+        Ok(!self.exists(!f, cube)?)
     }
 
     /// Fused relational product `∃ cube. f ∧ g` — the inner loop of image
@@ -455,21 +495,31 @@ impl BddManager {
     ///
     /// # Errors
     ///
-    /// Returns [`OutOfNodes`] when the quota is exhausted.
+    /// Returns [`OutOfNodes`] when the quota is exhausted even after
+    /// garbage collection.
     pub fn and_exists(
         &mut self,
         f: NodeId,
         g: NodeId,
         cube: NodeId,
     ) -> Result<NodeId, OutOfNodes> {
-        if f == NodeId::FALSE || g == NodeId::FALSE {
+        self.run_with_gc(&[f, g, cube], |m| m.and_exists_rec(f, g, cube))
+    }
+
+    fn and_exists_rec(
+        &mut self,
+        f: NodeId,
+        g: NodeId,
+        cube: NodeId,
+    ) -> Result<NodeId, OutOfNodes> {
+        if f == NodeId::FALSE || g == NodeId::FALSE || f == !g {
             return Ok(NodeId::FALSE);
         }
         if f == NodeId::TRUE && g == NodeId::TRUE {
             return Ok(NodeId::TRUE);
         }
         if cube == NodeId::TRUE {
-            return self.and(f, g);
+            return self.and_rec(f, g);
         }
         let key = (f.min(g), f.max(g), cube);
         if let Some(&r) = self.and_exists_cache.get(&key) {
@@ -487,18 +537,18 @@ impl BddManager {
             // Quantified variable: OR of the two cofactored products.
             let (f0, f1) = self.cofactors(f, v);
             let (g0, g1) = self.cofactors(g, v);
-            let lo = self.and_exists(f0, g0, self.hi(c))?;
+            let lo = self.and_exists_rec(f0, g0, self.hi(c))?;
             if lo == NodeId::TRUE {
                 NodeId::TRUE // short-circuit: OR with anything is TRUE
             } else {
-                let hi = self.and_exists(f1, g1, self.hi(c))?;
-                self.or(lo, hi)?
+                let hi = self.and_exists_rec(f1, g1, self.hi(c))?;
+                self.or_rec(lo, hi)?
             }
         } else {
             let (f0, f1) = self.cofactors(f, v);
             let (g0, g1) = self.cofactors(g, v);
-            let lo = self.and_exists(f0, g0, c)?;
-            let hi = self.and_exists(f1, g1, c)?;
+            let lo = self.and_exists_rec(f0, g0, c)?;
+            let hi = self.and_exists_rec(f1, g1, c)?;
             self.mk(v, lo, hi)?
         };
         self.and_exists_cache.insert(key, r);
@@ -511,7 +561,8 @@ impl BddManager {
     ///
     /// # Errors
     ///
-    /// Returns [`OutOfNodes`] when the quota is exhausted.
+    /// Returns [`OutOfNodes`] when the quota is exhausted even after
+    /// garbage collection.
     ///
     /// # Panics
     ///
@@ -536,7 +587,7 @@ impl BddManager {
             h = (h ^ (*a as u64)).wrapping_mul(0x1000_0000_01b3);
             h = (h ^ (*b as u64)).wrapping_mul(0x1000_0000_01b3);
         }
-        self.rename_rec(f, map, h)
+        self.run_with_gc(&[f], |m| m.rename_rec(f, map, h))
     }
 
     fn rename_rec(
@@ -547,6 +598,11 @@ impl BddManager {
     ) -> Result<NodeId, OutOfNodes> {
         if f.is_terminal() {
             return Ok(f);
+        }
+        // Renaming commutes with complement: recurse on the regular edge
+        // so f and ¬f share one cache entry, and re-apply the tag.
+        if f.is_complemented() {
+            return Ok(!self.rename_rec(!f, map, map_hash)?);
         }
         if let Some(&r) = self.rename_cache.get(&(f, map_hash)) {
             return Ok(r);
@@ -568,16 +624,21 @@ impl BddManager {
     ///
     /// # Errors
     ///
-    /// Returns [`OutOfNodes`] when the quota is exhausted.
+    /// Returns [`OutOfNodes`] when the quota is exhausted even after
+    /// garbage collection.
     pub fn restrict(&mut self, f: NodeId, v: u32, value: bool) -> Result<NodeId, OutOfNodes> {
+        self.run_with_gc(&[f], |m| m.restrict_rec(f, v, value))
+    }
+
+    fn restrict_rec(&mut self, f: NodeId, v: u32, value: bool) -> Result<NodeId, OutOfNodes> {
         if f.is_terminal() || self.var_of(f) > v {
             return Ok(f);
         }
         if self.var_of(f) == v {
             return Ok(if value { self.hi(f) } else { self.lo(f) });
         }
-        let lo = self.restrict(self.lo(f), v, value)?;
-        let hi = self.restrict(self.hi(f), v, value)?;
+        let lo = self.restrict_rec(self.lo(f), v, value)?;
+        let hi = self.restrict_rec(self.hi(f), v, value)?;
         self.mk(self.var_of(f), lo, hi)
     }
 
@@ -605,13 +666,14 @@ impl BddManager {
         Some(path)
     }
 
-    /// The support (set of variables) of `f`, ascending.
+    /// The support (set of variables) of `f`, ascending. `f` and `¬f`
+    /// have the same support, so traversal ignores complement tags.
     pub fn support(&self, f: NodeId) -> Vec<u32> {
-        let mut seen = crate::hash::FxHashSet::default();
+        let mut seen: crate::hash::FxHashSet<u32> = crate::hash::FxHashSet::default();
         let mut vars = std::collections::BTreeSet::new();
         let mut stack = vec![f];
         while let Some(n) = stack.pop() {
-            if n.is_terminal() || !seen.insert(n) {
+            if n.is_terminal() || !seen.insert(n.index()) {
                 continue;
             }
             vars.insert(self.var_of(n));
@@ -638,18 +700,35 @@ mod tests {
         let ab = m.and(a, b).unwrap();
         let ba = m.and(b, a).unwrap();
         assert_eq!(ab, ba, "commutativity");
-        let na = m.not(a).unwrap();
-        let nna = m.not(na).unwrap();
+        let na = m.not(a);
+        let nna = m.not(na);
         assert_eq!(a, nna, "double negation");
         let a_or_na = m.or(a, na).unwrap();
         assert_eq!(a_or_na, NodeId::TRUE, "excluded middle");
         let a_and_na = m.and(a, na).unwrap();
         assert_eq!(a_and_na, NodeId::FALSE, "contradiction");
         // De Morgan
-        let nab = m.not(ab).unwrap();
-        let nb = m.not(b).unwrap();
+        let nab = m.not(ab);
+        let nb = m.not(b);
         let na_or_nb = m.or(na, nb).unwrap();
         assert_eq!(nab, na_or_nb);
+    }
+
+    #[test]
+    fn complement_edges_make_negation_free() {
+        let mut m = mgr();
+        let a = m.var(0).unwrap();
+        let b = m.var(1).unwrap();
+        let f = m.xor(a, b).unwrap();
+        let nodes_before = m.num_nodes();
+        let nf = m.not(f);
+        assert_eq!(m.num_nodes(), nodes_before, "not must not allocate");
+        assert_eq!(nf, !f);
+        assert_eq!(m.size(f), m.size(nf), "f and ¬f share every node");
+        for asg in 0..4u32 {
+            let want = !m.eval(f, &|v| asg >> v & 1 == 1);
+            assert_eq!(m.eval(nf, &|v| asg >> v & 1 == 1), want);
+        }
     }
 
     #[test]
@@ -659,7 +738,7 @@ mod tests {
         let b = m.var(1).unwrap();
         let x = m.xor(a, b).unwrap();
         let xn = m.xnor(a, b).unwrap();
-        let nx = m.not(x).unwrap();
+        let nx = m.not(x);
         assert_eq!(xn, nx);
         for (av, bv, ev) in [(false, false, false), (false, true, true), (true, false, true), (true, true, false)] {
             assert_eq!(m.eval(x, &|v| if v == 0 { av } else { bv }), ev);
@@ -696,6 +775,21 @@ mod tests {
     }
 
     #[test]
+    fn exists_on_complemented_operand() {
+        // ∃ does NOT commute with complement; the cache must keep
+        // f and ¬f apart.
+        let mut m = mgr();
+        let a = m.var(0).unwrap();
+        let b = m.var(1).unwrap();
+        let ab = m.and(a, b).unwrap();
+        let cube_a = m.cube(&[0]).unwrap();
+        let e1 = m.exists(ab, cube_a).unwrap();
+        assert_eq!(e1, b);
+        let e2 = m.exists(!ab, cube_a).unwrap();
+        assert_eq!(e2, NodeId::TRUE, "∃a. ¬(a∧b) is a tautology");
+    }
+
+    #[test]
     fn and_exists_equals_sequential() {
         let mut m = mgr();
         let a = m.var(0).unwrap();
@@ -719,13 +813,13 @@ mod tests {
         let f = m.or(a, b).unwrap();
         let g = m.xor(b, c).unwrap();
         let fused = m.and_not(f, g).unwrap();
-        let ng = m.not(g).unwrap();
+        let ng = m.not(g);
         let composed = m.and(f, ng).unwrap();
         assert_eq!(fused, composed);
         assert_eq!(m.and_not(f, f).unwrap(), NodeId::FALSE);
         assert_eq!(m.and_not(f, NodeId::FALSE).unwrap(), f);
         assert_eq!(m.and_not(f, NodeId::TRUE).unwrap(), NodeId::FALSE);
-        let nf = m.not(f).unwrap();
+        let nf = m.not(f);
         assert_eq!(m.and_not(NodeId::TRUE, f).unwrap(), nf);
     }
 
@@ -734,7 +828,7 @@ mod tests {
         let mut m = mgr();
         let a = m.var(0).unwrap();
         let b = m.var(1).unwrap();
-        let na = m.not(a).unwrap();
+        let na = m.not(a);
         let ab = m.and(a, b).unwrap();
         assert!(m.intersects(a, b));
         assert!(m.intersects(ab, a));
@@ -758,6 +852,9 @@ mod tests {
         let b3 = m.var(3).unwrap();
         let expect = m.and(a1, b3).unwrap();
         assert_eq!(g, expect);
+        // Complement commutes with renaming.
+        let gn = m.rename(!f, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(gn, !expect);
     }
 
     #[test]
@@ -767,7 +864,7 @@ mod tests {
         let b = m.var(1).unwrap();
         let f = m.xor(a, b).unwrap();
         let f_a1 = m.restrict(f, 0, true).unwrap();
-        let nb = m.not(b).unwrap();
+        let nb = m.not(b);
         assert_eq!(f_a1, nb);
         let f_a0 = m.restrict(f, 0, false).unwrap();
         assert_eq!(f_a0, b);
@@ -778,7 +875,7 @@ mod tests {
         let mut m = mgr();
         let a = m.var(0).unwrap();
         let b = m.var(1).unwrap();
-        let nb = m.not(b).unwrap();
+        let nb = m.not(b);
         let f = m.and(a, nb).unwrap();
         let sol = m.sat_one(f).unwrap();
         assert!(sol.contains(&(0, true)));
@@ -794,6 +891,7 @@ mod tests {
         let c = m.var(5).unwrap();
         let f = m.xor(a, c).unwrap();
         assert_eq!(m.support(f), vec![0, 5]);
+        assert_eq!(m.support(!f), vec![0, 5]);
         assert!(m.support(NodeId::TRUE).is_empty());
     }
 

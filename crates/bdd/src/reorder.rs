@@ -36,7 +36,14 @@ pub fn rebuild_with_order(
         position_of[*v as usize] = lvl as u32;
     }
     let mut memo = crate::hash::FxHashMap::default();
-    rebuild(src, f, &position_of, dst, &mut memo)
+    // Memoized intermediates are held across later allocating calls, so
+    // they are protected for the duration of the rebuild (this also arms
+    // `dst`'s automatic garbage collection under quota pressure).
+    let out = rebuild(src, f, &position_of, dst, &mut memo);
+    for r in memo.values() {
+        dst.unprotect(*r);
+    }
+    out
 }
 
 fn rebuild(
@@ -49,6 +56,10 @@ fn rebuild(
     if f.is_terminal() {
         return Ok(f);
     }
+    // Rebuilding commutes with complement: memoize regular edges only.
+    if f.is_complemented() {
+        return Ok(!rebuild(src, !f, position_of, dst, memo)?);
+    }
     if let Some(&r) = memo.get(&f) {
         return Ok(r);
     }
@@ -60,6 +71,7 @@ fn rebuild(
     // when children contain variables now placed above v.
     let nv = dst.var(position_of[v as usize])?;
     let r = dst.ite(nv, hi, lo)?;
+    dst.protect(r);
     memo.insert(f, r);
     Ok(r)
 }
@@ -98,6 +110,12 @@ pub fn best_window_order(
     let mut improved = true;
     while improved {
         improved = false;
+        // Snapshot the base order for this pass: every candidate is a
+        // window permutation of the SAME base. (Adopting an improvement
+        // mid-enumeration used to draw later permutations from a mixed
+        // base, duplicating some candidates and never trying others.)
+        let base = order.clone();
+        let mut pass_best: Option<(Vec<u32>, usize)> = None;
         for start in 0..=(nvars as usize - window) {
             let mut perm_indices: Vec<usize> = (0..window).collect();
             // Heap's algorithm over the window slots.
@@ -111,17 +129,15 @@ pub fn best_window_order(
                         perm_indices.swap(c[i], i);
                     }
                     // Apply this window permutation to a candidate order.
-                    let mut cand = order.clone();
+                    let mut cand = base.clone();
                     let slice: Vec<u32> =
-                        perm_indices.iter().map(|k| order[start + k]).collect();
+                        perm_indices.iter().map(|k| base[start + k]).collect();
                     cand[start..start + window].copy_from_slice(&slice);
                     let mut m = BddManager::new(quota);
                     let g = rebuild_with_order(src, f, &cand, &mut m)?;
                     let size = m.size(g);
-                    if size < best_size {
-                        best_size = size;
-                        order = cand;
-                        improved = true;
+                    if size < pass_best.as_ref().map_or(best_size, |(_, s)| *s) {
+                        pass_best = Some((cand, size));
                     }
                     c[i] += 1;
                     i = 0;
@@ -130,6 +146,12 @@ pub fn best_window_order(
                     i += 1;
                 }
             }
+        }
+        // Adopt the pass's best candidate only between passes.
+        if let Some((cand, size)) = pass_best {
+            order = cand;
+            best_size = size;
+            improved = true;
         }
     }
     Ok((order, best_size))
@@ -198,6 +220,45 @@ mod tests {
         let (order, size) = best_window_order(&src, f, 6, 3, 1 << 18).unwrap();
         assert!(size <= start_size, "search must not regress");
         assert!(size <= 10, "pairs function has a linear-size order, got {size} via {order:?}");
+    }
+
+    /// Regression for the mixed-base enumeration bug: with a window
+    /// spanning all variables, one pass enumerates every permutation of
+    /// the snapshot base, so the search must find the global optimum.
+    /// (The old code assigned `order = cand` mid-enumeration, drawing
+    /// later candidates from a mixed base — some permutations were
+    /// duplicated and others never tried.)
+    #[test]
+    fn full_window_pass_finds_global_optimum() {
+        let mut src = BddManager::new(1 << 18);
+        let f = chained_pairs(&mut src, &[(0, 2), (1, 3)]);
+        // Brute force: try all 24 orders of 4 variables.
+        let mut orders = Vec::new();
+        let mut perm = vec![0u32, 1, 2, 3];
+        permutations(&mut perm, 0, &mut orders);
+        let brute_best = orders
+            .iter()
+            .map(|o| {
+                let mut m = BddManager::new(1 << 18);
+                let g = rebuild_with_order(&src, f, o, &mut m).unwrap();
+                m.size(g)
+            })
+            .min()
+            .unwrap();
+        let (_, size) = best_window_order(&src, f, 4, 4, 1 << 18).unwrap();
+        assert_eq!(size, brute_best, "full-window search must match brute force");
+    }
+
+    fn permutations(v: &mut Vec<u32>, k: usize, out: &mut Vec<Vec<u32>>) {
+        if k == v.len() {
+            out.push(v.clone());
+            return;
+        }
+        for i in k..v.len() {
+            v.swap(k, i);
+            permutations(v, k + 1, out);
+            v.swap(k, i);
+        }
     }
 
     #[test]

@@ -17,6 +17,14 @@ fn partition(c: &mut Criterion) {
     let aig = aig_of(integ);
     let steps = partition_output_integrity(&vm, 0).unwrap();
 
+    // Peak live BDD nodes per bench id, captured from the last iteration
+    // and printed after the group in a `bench_compare`-parsable format,
+    // so GC regressions (live peak creeping back toward nodes-ever-
+    // allocated) are visible in review alongside the timings.
+    let mono_peak = std::cell::Cell::new(0usize);
+    let part_gen_peak = std::cell::Cell::new(0usize);
+    let part_tight_peak = std::cell::Cell::new(0usize);
+
     let mut group = c.benchmark_group("fig7");
     group.sample_size(10);
     group.bench_function("monolithic_generous", |b| {
@@ -26,6 +34,7 @@ fn partition(c: &mut Criterion) {
             // budget is exactly the phenomenon Fig. 7 is about.
             let r = check(&aig, &CheckOptions::default());
             assert!(!r.verdict.is_falsified());
+            mono_peak.set(r.stats.bdd_nodes);
             std::hint::black_box(r)
         })
     });
@@ -33,6 +42,8 @@ fn partition(c: &mut Criterion) {
         b.iter(|| {
             let run = run_partition(&steps, &CheckOptions::default());
             assert!(run.all_proved);
+            let peak = run.steps.iter().map(|(_, r)| r.stats.bdd_nodes).max();
+            part_gen_peak.set(peak.unwrap_or(0));
         })
     });
     let tight = CheckOptions {
@@ -49,9 +60,15 @@ fn partition(c: &mut Criterion) {
         b.iter(|| {
             let run = run_partition(&steps, &tight);
             assert!(run.all_proved);
+            let peak = run.steps.iter().map(|(_, r)| r.stats.bdd_nodes).max();
+            part_tight_peak.set(peak.unwrap_or(0));
         })
     });
     group.finish();
+
+    println!("fig7/monolithic_generous  peak_live {} nodes", mono_peak.get());
+    println!("fig7/partitioned_generous  peak_live {} nodes", part_gen_peak.get());
+    println!("fig7/partitioned_tight  peak_live {} nodes", part_tight_peak.get());
 }
 
 criterion_group! {

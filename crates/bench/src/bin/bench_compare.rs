@@ -28,8 +28,23 @@ fn main() {
     let baseline_text = std::fs::read_to_string(baseline_path)
         .unwrap_or_else(|e| panic!("cannot read {baseline_path}: {e}"));
 
-    let baseline = parse_baseline(&baseline_text);
+    let full_baseline = parse_baseline(&baseline_text);
+    // Node baselines are stored flat alongside the timings under
+    // "nodes:<bench-id>" keys.
+    let mut baseline = BTreeMap::new();
+    let mut node_baseline = BTreeMap::new();
+    for (k, v) in full_baseline {
+        match k.strip_prefix("nodes:") {
+            Some(name) => {
+                node_baseline.insert(name.to_string(), v);
+            }
+            None => {
+                baseline.insert(k, v);
+            }
+        }
+    }
     let current = parse_bench_output(&output);
+    let current_nodes = parse_peak_nodes(&output);
 
     println!("Bench comparison vs {baseline_path} (advisory)");
     println!("{:<42} {:>12} {:>12} {:>9}", "bench", "baseline", "current", "delta");
@@ -63,6 +78,39 @@ fn main() {
     for name in current.keys() {
         if !baseline.contains_key(name) {
             println!("{name:<42} (new; not in baseline)");
+        }
+    }
+
+    // Live-peak-nodes comparison: a creeping live peak is a GC
+    // regression even when wall-clock looks fine (one-shot timing noise
+    // hides it; node counts are deterministic).
+    if !node_baseline.is_empty() || !current_nodes.is_empty() {
+        println!();
+        println!("Live-peak BDD nodes vs baseline (deterministic)");
+        println!("{:<42} {:>12} {:>12} {:>9}", "bench", "baseline", "current", "delta");
+        for (name, base_n) in &node_baseline {
+            match current_nodes.get(name.as_str()) {
+                Some(cur_n) if *base_n > 0.0 => {
+                    let delta = (*cur_n as f64 - *base_n) / *base_n * 100.0;
+                    let flag = if delta > 10.0 { "  <-- more live nodes" } else { "" };
+                    println!(
+                        "{:<42} {:>12} {:>12} {:>+8.1}%{}",
+                        name, *base_n as u64, cur_n, delta, flag
+                    );
+                }
+                // A zero baseline means the SAT portfolio settled the
+                // bench before any BDD engine ran; flag any change.
+                Some(cur_n) => {
+                    let flag = if *cur_n > 0 { "  <-- BDD engines now engaged" } else { "" };
+                    println!("{:<42} {:>12} {:>12} {:>9}{}", name, 0, cur_n, "-", flag);
+                }
+                None => println!("{name:<42} (not in this run)"),
+            }
+        }
+        for name in current_nodes.keys() {
+            if !node_baseline.contains_key(name) {
+                println!("{name:<42} (new; not in baseline)");
+            }
         }
     }
 }
@@ -122,6 +170,29 @@ fn parse_bench_output(text: &str) -> BTreeMap<String, f64> {
     map
 }
 
+/// Parses the benches' peak-live-node report lines:
+/// `<name>  peak_live <count> nodes`.
+fn parse_peak_nodes(text: &str) -> BTreeMap<String, u64> {
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let mut parts = line.split_whitespace();
+        let Some(name) = parts.next() else { continue };
+        let rest: Vec<&str> = parts.collect();
+        let Some(pos) = rest.iter().position(|t| *t == "peak_live") else {
+            continue;
+        };
+        let (Some(value), Some(unit)) = (rest.get(pos + 1), rest.get(pos + 2)) else {
+            continue;
+        };
+        if *unit != "nodes" {
+            continue;
+        }
+        let Ok(v) = value.parse::<u64>() else { continue };
+        map.insert(name.to_string(), v);
+    }
+    map
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +206,20 @@ mod tests {
         assert_eq!(m.len(), 2);
         assert!((m["fig7/monolithic_generous"] - 60.91).abs() < 1e-9);
         assert!((m["fig7/partitioned_tight"] - 0.01838).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parses_peak_node_lines() {
+        let out = "fig7/monolithic_generous  peak_live 123456 nodes\n\
+                   fig7/partitioned_tight  peak_live 789 nodes\n\
+                   some/bench  min 1.0 s  median 1.0 s\n";
+        let m = parse_peak_nodes(out);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m["fig7/monolithic_generous"], 123456);
+        assert_eq!(m["fig7/partitioned_tight"], 789);
+        // Node lines must not leak into the timing map.
+        assert!(parse_bench_output(out).contains_key("some/bench"));
+        assert!(!parse_bench_output(out).contains_key("fig7/partitioned_tight"));
     }
 
     #[test]

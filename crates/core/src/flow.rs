@@ -322,6 +322,25 @@ impl CampaignReport {
         s
     }
 
+    /// Peak **live** BDD nodes across all records — the campaign-wide
+    /// high-water mark of the BDD garbage collector, for the bench
+    /// live-peak-nodes column.
+    pub fn peak_bdd_nodes(&self) -> usize {
+        self.records.iter().map(|r| r.stats.bdd_nodes).max().unwrap_or(0)
+    }
+
+    /// Total BDD nodes ever allocated across the campaign
+    /// (GC-independent; the gap to [`CampaignReport::peak_bdd_nodes`]
+    /// is what collection reclaimed).
+    pub fn total_bdd_allocated(&self) -> u64 {
+        self.records.iter().map(|r| r.stats.bdd_allocated).sum()
+    }
+
+    /// Properties whose BDD engines hit the node quota at least once.
+    pub fn quota_hit_count(&self) -> usize {
+        self.records.iter().filter(|r| r.stats.bdd_quota_hits > 0).count()
+    }
+
     /// Fraction of properties proved.
     pub fn proved_ratio(&self) -> f64 {
         if self.records.is_empty() {
@@ -367,6 +386,11 @@ mod tests {
             .map(|m| m.plan().p0() + m.plan().p1() + m.plan().p2() + m.plan().p3)
             .sum();
         assert_eq!(report.records.len(), expected);
+        // Stats plumbing: at least one property exercised a BDD engine,
+        // and peak live can never exceed total allocations.
+        assert!(report.peak_bdd_nodes() > 0);
+        assert!(report.total_bdd_allocated() >= report.peak_bdd_nodes() as u64);
+        assert_eq!(report.quota_hit_count(), 0, "default budgets must not hit the quota");
     }
 
     #[test]

@@ -21,8 +21,27 @@ pub enum BddEngineOutcome {
     ResourceOut,
 }
 
+/// A transition-system build that exhausted the node quota, carrying the
+/// manager's accounting so callers can record honest statistics on the
+/// failure path (Table 2/3 used to report 0 nodes for quota-exhausted
+/// builds).
+#[derive(Clone, Copy, Debug)]
+pub struct BuildError {
+    /// The underlying quota error.
+    pub err: OutOfNodes,
+    /// Peak live nodes at the point of failure.
+    pub peak_live_nodes: usize,
+    /// Total nodes ever allocated (GC-independent).
+    pub total_allocated: u64,
+}
+
 /// A symbolic transition system: per-latch next-state functions, the
 /// constraint and bad relations, initial state and quantification cubes.
+///
+/// Every field holding a `NodeId` is registered in the manager's root
+/// set for the struct's lifetime, so garbage collection under quota
+/// pressure only reclaims dead intermediates (old frontiers, image
+/// temporaries, superseded accumulators).
 #[derive(Debug)]
 pub struct TransitionSystem {
     /// The manager owning all nodes below.
@@ -48,59 +67,86 @@ pub struct TransitionSystem {
     num_inputs: usize,
 }
 
-/// Maximum BDD size of a cluster before a new one is started.
-const CLUSTER_LIMIT: usize = 2_500;
+/// Maximum BDD size of a cluster before a new one is started. Halved
+/// when complement edges landed: `size` dropped by roughly 2x for the
+/// same logical content, and this keeps the image-step granularity of
+/// the tuned non-complemented engine.
+const CLUSTER_LIMIT: usize = 1_250;
 
 impl TransitionSystem {
     /// Builds the transition system of `aig` in a fresh manager with the
-    /// given node quota.
+    /// given node quota. Persistent parts are rooted as they are built,
+    /// so construction itself can garbage-collect its dead intermediates
+    /// under quota pressure.
     ///
     /// # Errors
     ///
-    /// Returns [`OutOfNodes`] if construction itself exceeds the quota.
-    pub fn build(aig: &Aig, node_quota: usize) -> Result<Self, OutOfNodes> {
-        let n = aig.num_latches();
+    /// Returns [`BuildError`] — the quota error plus the manager's node
+    /// accounting — if construction exceeds the quota even after GC.
+    pub fn build(aig: &Aig, node_quota: usize) -> Result<Self, BuildError> {
         let mut mgr = BddManager::new(node_quota);
+        match Self::build_parts(aig, &mut mgr) {
+            Ok(parts) => Ok(parts.into_system(mgr, aig)),
+            Err(err) => Err(BuildError {
+                err,
+                peak_live_nodes: mgr.peak_live_nodes(),
+                total_allocated: mgr.total_allocated(),
+            }),
+        }
+    }
+
+    fn build_parts(aig: &Aig, mgr: &mut BddManager) -> Result<Parts, OutOfNodes> {
+        let n = aig.num_latches();
         // var mapping: latch i cur = 2i, next = 2i+1; input j = 2n + j.
         let cur_var = |i: usize| 2 * i as u32;
         let next_var = |i: usize| 2 * i as u32 + 1;
         let input_var = |j: usize| (2 * n + j) as u32;
 
-        // Node → BDD over (cur, input) vars.
+        // Node → BDD over (cur, input) vars. Every entry is rooted until
+        // the end of construction: these are the values held across
+        // allocating calls (and the first protect arms automatic GC).
         let mut node_bdd: FxHashMap<Var, NodeId> = FxHashMap::default();
         node_bdd.insert(Var(0), NodeId::FALSE);
         for (j, (v, _)) in aig.inputs().iter().enumerate() {
             let b = mgr.var(input_var(j))?;
+            mgr.protect(b);
             node_bdd.insert(*v, b);
         }
         for (i, l) in aig.latches().iter().enumerate() {
             let b = mgr.var(cur_var(i))?;
+            mgr.protect(b);
             node_bdd.insert(l.var, b);
         }
         for v in aig.and_order() {
             let (a, b) = aig.and_fanins(v).expect("AND node");
-            let ba = lit_bdd(&mut mgr, &node_bdd, a)?;
-            let bb = lit_bdd(&mut mgr, &node_bdd, b)?;
+            let ba = lit_bdd(&node_bdd, a);
+            let bb = lit_bdd(&node_bdd, b);
             let r = mgr.and(ba, bb)?;
+            mgr.protect(r);
             node_bdd.insert(v, r);
         }
-        let of = |mgr: &mut BddManager, l: Lit| lit_bdd(mgr, &node_bdd, l);
 
-        // Per-latch relations T_i = next_i ↔ f_i, clustered.
+        // Per-latch relations T_i = next_i ↔ f_i, clustered. The running
+        // accumulator and the finished clusters stay rooted.
         let mut clusters = Vec::new();
         let mut current: Option<NodeId> = None;
         for (i, l) in aig.latches().iter().enumerate() {
-            let f = of(&mut mgr, l.next)?;
+            let f = lit_bdd(&node_bdd, l.next);
             let nv = mgr.var(next_var(i))?;
             let t = mgr.xnor(nv, f)?;
             current = Some(match current {
-                None => t,
+                None => {
+                    mgr.protect(t);
+                    t
+                }
                 Some(c) => {
                     let merged = mgr.and(c, t)?;
                     if mgr.size(merged) > CLUSTER_LIMIT {
-                        clusters.push(c);
+                        clusters.push(c); // keeps c's root registration
+                        mgr.protect(t);
                         t
                     } else {
+                        mgr.reroot(c, merged);
                         merged
                     }
                 }
@@ -113,15 +159,18 @@ impl TransitionSystem {
         // Constraint and bad.
         let mut constraint = NodeId::TRUE;
         for c in aig.constraints() {
-            let b = of(&mut mgr, c.lit)?;
+            let b = lit_bdd(&node_bdd, c.lit);
             constraint = mgr.and(constraint, b)?;
         }
+        mgr.protect(constraint);
         let mut bad = NodeId::FALSE;
         for b in aig.bads() {
-            let bb = of(&mut mgr, b.lit)?;
+            let bb = lit_bdd(&node_bdd, b.lit);
             bad = mgr.or(bad, bb)?;
         }
+        mgr.protect(bad);
         let bad_constraint = mgr.and(bad, constraint)?;
+        mgr.protect(bad_constraint);
 
         // Initial state cube.
         let mut init = NodeId::TRUE;
@@ -131,7 +180,9 @@ impl TransitionSystem {
             } else {
                 mgr.nvar(cur_var(i))?
             };
-            init = mgr.and(init, v)?;
+            let ni = mgr.and(init, v)?;
+            mgr.reroot(init, ni);
+            init = ni;
         }
 
         // Quantification schedule: a (cur|input) variable is quantified at
@@ -157,17 +208,22 @@ impl TransitionSystem {
                 None => residual_vars.push(v),
             }
         }
-        let cluster_cubes = cluster_vars
-            .into_iter()
-            .map(|vs| mgr.cube(&vs))
-            .collect::<Result<Vec<_>, _>>()?;
+        let mut cluster_cubes = Vec::with_capacity(cluster_vars.len());
+        for vs in cluster_vars {
+            let cb = mgr.cube(&vs)?;
+            mgr.protect(cb);
+            cluster_cubes.push(cb);
+        }
         let residual_cube = mgr.cube(&residual_vars)?;
+        mgr.protect(residual_cube);
 
-        let next_to_cur: Vec<(u32, u32)> =
-            (0..n).map(|i| (next_var(i), cur_var(i))).collect();
+        // Release the construction temporaries; the returned parts keep
+        // their registrations for the manager's lifetime.
+        for b in node_bdd.values() {
+            mgr.unprotect(*b);
+        }
 
-        Ok(TransitionSystem {
-            mgr,
+        Ok(Parts {
             clusters,
             cluster_cubes,
             residual_cube,
@@ -175,9 +231,6 @@ impl TransitionSystem {
             constraint,
             bad,
             bad_constraint,
-            next_to_cur,
-            num_latches: n,
-            num_inputs: aig.num_inputs(),
         })
     }
 
@@ -215,21 +268,58 @@ impl TransitionSystem {
     }
 }
 
-fn lit_bdd(
-    mgr: &mut BddManager,
-    node_bdd: &FxHashMap<Var, NodeId>,
-    l: Lit,
-) -> Result<NodeId, OutOfNodes> {
+/// The rooted pieces of a transition system, before the manager is moved
+/// into the struct.
+struct Parts {
+    clusters: Vec<NodeId>,
+    cluster_cubes: Vec<NodeId>,
+    residual_cube: NodeId,
+    init: NodeId,
+    constraint: NodeId,
+    bad: NodeId,
+    bad_constraint: NodeId,
+}
+
+impl Parts {
+    fn into_system(self, mgr: BddManager, aig: &Aig) -> TransitionSystem {
+        let n = aig.num_latches();
+        let next_to_cur: Vec<(u32, u32)> =
+            (0..n).map(|i| (2 * i as u32 + 1, 2 * i as u32)).collect();
+        TransitionSystem {
+            mgr,
+            clusters: self.clusters,
+            cluster_cubes: self.cluster_cubes,
+            residual_cube: self.residual_cube,
+            init: self.init,
+            constraint: self.constraint,
+            bad: self.bad,
+            bad_constraint: self.bad_constraint,
+            next_to_cur,
+            num_latches: n,
+            num_inputs: aig.num_inputs(),
+        }
+    }
+}
+
+/// AIG literal → BDD: with complement edges the complemented literal is
+/// a free tag flip, so this neither allocates nor fails.
+fn lit_bdd(node_bdd: &FxHashMap<Var, NodeId>, l: Lit) -> NodeId {
     let base = node_bdd[&l.var()];
     if l.is_compl() {
-        mgr.not(base)
+        !base
     } else {
-        Ok(base)
+        base
     }
 }
 
 /// Forward-reachability UMC: returns Proved if the bad never intersects
 /// the reachable set, the violation depth otherwise.
+///
+/// `reached` and `frontier` are registered as garbage-collection roots,
+/// so quota pressure reclaims dead image intermediates and superseded
+/// frontiers instead of counting them against the budget. Statistics
+/// (peak live nodes, total allocations, quota hits) are recorded on
+/// every exit path, including build failure.
 pub fn bdd_umc(
     aig: &Aig,
     node_quota: usize,
@@ -238,11 +328,18 @@ pub fn bdd_umc(
 ) -> BddEngineOutcome {
     let mut ts = match TransitionSystem::build(aig, node_quota) {
         Ok(ts) => ts,
-        Err(_) => return BddEngineOutcome::ResourceOut,
+        Err(e) => {
+            stats.bdd_nodes = stats.bdd_nodes.max(e.peak_live_nodes);
+            stats.bdd_allocated += e.total_allocated;
+            stats.bdd_quota_hits += 1;
+            return BddEngineOutcome::ResourceOut;
+        }
     };
     let outcome = (|| -> Result<BddEngineOutcome, OutOfNodes> {
         let mut reached = ts.init;
         let mut frontier = ts.init;
+        ts.mgr.protect(reached);
+        ts.mgr.protect(frontier);
         if ts.intersects_bad(frontier) {
             return Ok(BddEngineOutcome::FalsifiedAtDepth(0));
         }
@@ -256,13 +353,24 @@ pub fn bdd_umc(
             if ts.intersects_bad(new) {
                 return Ok(BddEngineOutcome::FalsifiedAtDepth(depth));
             }
-            reached = ts.mgr.or(reached, new)?;
+            ts.mgr.protect(new); // becomes the next frontier
+            let r = ts.mgr.or(reached, new)?;
+            ts.mgr.reroot(reached, r);
+            reached = r;
+            ts.mgr.unprotect(frontier);
             frontier = new;
         }
         Ok(BddEngineOutcome::ResourceOut)
     })();
-    stats.bdd_nodes = stats.bdd_nodes.max(ts.mgr.num_nodes());
-    outcome.unwrap_or(BddEngineOutcome::ResourceOut)
+    stats.bdd_nodes = stats.bdd_nodes.max(ts.mgr.peak_live_nodes());
+    stats.bdd_allocated += ts.mgr.total_allocated();
+    match outcome {
+        Ok(o) => o,
+        Err(_) => {
+            stats.bdd_quota_hits += 1;
+            BddEngineOutcome::ResourceOut
+        }
+    }
 }
 
 #[cfg(test)]
@@ -281,6 +389,46 @@ mod tests {
         }
         let lits = qs.iter().map(|(_, q)| *q).collect();
         (g, lits)
+    }
+
+    /// The quota-semantics acceptance check: a reachability run whose
+    /// total allocations are an order of magnitude beyond the quota —
+    /// which therefore exhausted the quota before garbage collection
+    /// existed — now completes under that same quota, because the quota
+    /// counts *live* nodes and GC reclaims dead image intermediates.
+    #[test]
+    fn gc_lets_check_complete_under_tight_quota() {
+        let (mut g, qs) = counter(10);
+        let bad = g.and_many(qs.iter().copied());
+        g.add_bad("all_ones", bad);
+        let quota = 400;
+        let mut stats = CheckStats::default();
+        assert_eq!(
+            bdd_umc(&g, quota, 1 << 20, &mut stats),
+            BddEngineOutcome::FalsifiedAtDepth(1023)
+        );
+        assert!(stats.bdd_nodes <= quota, "peak live stays within the quota");
+        assert!(
+            stats.bdd_allocated > 10 * quota as u64,
+            "allocations far beyond the quota prove GC carried the run: {}",
+            stats.bdd_allocated
+        );
+    }
+
+    /// Regression: quota-exhausted builds used to report 0 peak nodes.
+    #[test]
+    fn quota_exhausted_build_records_stats() {
+        let (mut g, qs) = counter(16);
+        let bad = g.and_many(qs.iter().copied());
+        g.add_bad("all_ones", bad);
+        let mut stats = CheckStats::default();
+        assert_eq!(
+            bdd_umc(&g, 300, 1 << 20, &mut stats),
+            BddEngineOutcome::ResourceOut
+        );
+        assert!(stats.bdd_nodes > 0, "failure path must record peak live nodes");
+        assert!(stats.bdd_allocated > 0);
+        assert_eq!(stats.bdd_quota_hits, 1);
     }
 
     #[test]

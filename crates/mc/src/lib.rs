@@ -41,7 +41,7 @@ mod bdd_engine;
 mod bmc;
 mod pobdd;
 
-pub use bdd_engine::{bdd_umc, BddEngineOutcome, TransitionSystem};
+pub use bdd_engine::{bdd_umc, BddEngineOutcome, BuildError, TransitionSystem};
 pub use bmc::{bmc_check, induction_check, BmcOutcome, InductionOutcome};
 pub use pobdd::pobdd_reach;
 
@@ -118,8 +118,16 @@ pub struct CheckStats {
     pub coi_latches: usize,
     /// AIG ANDs after COI.
     pub coi_ands: usize,
-    /// Peak BDD nodes allocated (if a BDD engine ran).
+    /// Peak **live** BDD nodes (if a BDD engine ran): the garbage
+    /// collector's high-water mark, recorded on every exit path
+    /// including quota-exhausted transition-system builds.
     pub bdd_nodes: usize,
+    /// Total BDD nodes ever allocated across BDD engine runs
+    /// (GC-independent; `bdd_allocated > bdd_nodes` measures how much
+    /// garbage collection reclaimed).
+    pub bdd_allocated: u64,
+    /// Number of times a BDD engine hit the node quota (build or run).
+    pub bdd_quota_hits: usize,
     /// Total SAT conflicts (across all SAT calls).
     pub sat_conflicts: u64,
     /// Reachability iterations performed by the concluding engine.
@@ -171,7 +179,10 @@ impl Default for CheckOptions {
             // before the BDD engines take over.
             induction_depth: 6,
             simple_path: true,
-            bdd_nodes: 1 << 22,
+            // Recalibrated for live-node quota semantics: with complement
+            // edges + GC a live node packs roughly twice the logical work
+            // of the old ever-allocated unit, so 2M live ~= the old 4M.
+            bdd_nodes: 1 << 21,
             max_iterations: 10_000,
             pobdd_window_vars: 2,
             bdd_only: false,

@@ -25,11 +25,26 @@ pub fn pobdd_reach(
 ) -> BddEngineOutcome {
     let mut ts = match TransitionSystem::build(aig, node_quota) {
         Ok(ts) => ts,
-        Err(_) => return BddEngineOutcome::ResourceOut,
+        Err(e) => {
+            // Quota-exhausted builds used to report 0 nodes in the
+            // Table 2/3 stats; record the manager's accounting and the
+            // quota hit on this exit path too.
+            stats.bdd_nodes = stats.bdd_nodes.max(e.peak_live_nodes);
+            stats.bdd_allocated += e.total_allocated;
+            stats.bdd_quota_hits += 1;
+            return BddEngineOutcome::ResourceOut;
+        }
     };
     let outcome = run(&mut ts, window_vars, max_iterations, stats);
-    stats.bdd_nodes = stats.bdd_nodes.max(ts.mgr.num_nodes());
-    outcome.unwrap_or(BddEngineOutcome::ResourceOut)
+    stats.bdd_nodes = stats.bdd_nodes.max(ts.mgr.peak_live_nodes());
+    stats.bdd_allocated += ts.mgr.total_allocated();
+    match outcome {
+        Ok(o) => o,
+        Err(_) => {
+            stats.bdd_quota_hits += 1;
+            BddEngineOutcome::ResourceOut
+        }
+    }
 }
 
 fn run(
@@ -42,7 +57,10 @@ fn run(
     let k = split.len() as u32;
     let nparts = 1usize << k;
 
-    // Window cubes: one per assignment of the split variables.
+    // Window cubes: one per assignment of the split variables. The
+    // cubes, reached sets and frontiers below are all GC roots — only
+    // image intermediates and superseded per-partition sets are
+    // collectable under quota pressure.
     let mut windows = Vec::with_capacity(nparts);
     for w in 0..nparts {
         let mut cube = NodeId::TRUE;
@@ -52,7 +70,9 @@ fn run(
             } else {
                 ts.mgr.nvar(*var)?
             };
-            cube = ts.mgr.and(cube, lit)?;
+            let c = ts.mgr.and(cube, lit)?;
+            ts.mgr.reroot(cube, c);
+            cube = c;
         }
         windows.push(cube);
     }
@@ -62,6 +82,8 @@ fn run(
     let mut frontier = vec![NodeId::FALSE; nparts];
     for w in 0..nparts {
         let part = ts.mgr.and(ts.init, windows[w])?;
+        ts.mgr.protect(part); // reached slot
+        ts.mgr.protect(part); // frontier slot
         reached[w] = part;
         frontier[w] = part;
         if part != NodeId::FALSE && ts.intersects_bad(part) {
@@ -80,6 +102,7 @@ fn run(
                 continue;
             }
             let img = ts.image(fr)?;
+            ts.mgr.protect(img); // held across the whole window loop
             // Distribute the image across windows.
             for (l, window) in windows.iter().enumerate() {
                 let part = ts.mgr.and(img, *window)?;
@@ -93,13 +116,21 @@ fn run(
                 if ts.intersects_bad(fresh) {
                     return Ok(BddEngineOutcome::FalsifiedAtDepth(depth));
                 }
-                reached[l] = ts.mgr.or(reached[l], fresh)?;
-                new_frontier[l] = ts.mgr.or(new_frontier[l], fresh)?;
+                let r = ts.mgr.or(reached[l], fresh)?;
+                ts.mgr.reroot(reached[l], r);
+                reached[l] = r;
+                let nf = ts.mgr.or(new_frontier[l], fresh)?;
+                ts.mgr.reroot(new_frontier[l], nf);
+                new_frontier[l] = nf;
                 any_new = true;
             }
+            ts.mgr.unprotect(img);
         }
         if !any_new {
             return Ok(BddEngineOutcome::Proved);
+        }
+        for &fr in &frontier {
+            ts.mgr.unprotect(fr);
         }
         frontier = new_frontier;
     }
@@ -186,6 +217,23 @@ mod tests {
             pobdd_reach(&g2, 2, 1 << 20, 1000, &mut stats),
             BddEngineOutcome::Proved
         );
+    }
+
+    /// Regression: `pobdd_reach` returned early on a quota-exhausted
+    /// `TransitionSystem::build` without recording peak `bdd_nodes`, so
+    /// Table 2/3 stats showed 0 nodes for exactly the runs that hit the
+    /// quota hardest.
+    #[test]
+    fn quota_exhausted_build_records_stats() {
+        let g = counter_with_bad(16, (1 << 16) - 1);
+        let mut stats = CheckStats::default();
+        assert_eq!(
+            pobdd_reach(&g, 2, 300, 1 << 20, &mut stats),
+            BddEngineOutcome::ResourceOut
+        );
+        assert!(stats.bdd_nodes > 0, "failure path must record peak live nodes");
+        assert!(stats.bdd_allocated > 0);
+        assert_eq!(stats.bdd_quota_hits, 1);
     }
 
     #[test]

@@ -45,7 +45,7 @@ fn tree_to_bdd(m: &mut BddManager, t: &BoolTree) -> veridic::bdd::NodeId {
         BoolTree::Var(v) => m.var(*v).unwrap(),
         BoolTree::Not(a) => {
             let a = tree_to_bdd(m, a);
-            m.not(a).unwrap()
+            m.not(a)
         }
         BoolTree::And(a, b) => {
             let a = tree_to_bdd(m, a);
@@ -123,6 +123,87 @@ proptest! {
         for asg in 0..(1u32 << NVARS) {
             let want = if eval_tree(&tf, asg) { eval_tree(&tg, asg) } else { eval_tree(&th, asg) };
             prop_assert_eq!(m.eval(fast, &|v| asg >> v & 1 == 1), want, "assignment {:05b}", asg);
+        }
+    }
+
+    /// Complement-edge `not`/`and`/`or`/`xor` agree with the
+    /// non-complemented oracle `ite_reference` — same canonical node —
+    /// and with the expression truth tables.
+    #[test]
+    fn complemented_ops_match_reference(
+        tf in bool_tree(NVARS),
+        tg in bool_tree(NVARS),
+    ) {
+        use veridic::bdd::NodeId;
+        let mut m = BddManager::new(1 << 18);
+        let f = tree_to_bdd(&mut m, &tf);
+        let g = tree_to_bdd(&mut m, &tg);
+        // not: a tag flip must equal the reference ite(f, FALSE, TRUE).
+        let nf = m.not(f);
+        let nf_ref = m.ite_reference(f, NodeId::FALSE, NodeId::TRUE).unwrap();
+        prop_assert_eq!(nf, nf_ref, "¬f must be the canonical complement");
+        // and / or / xor against their reference ITE phrasings.
+        let and = m.and(f, g).unwrap();
+        let and_ref = m.ite_reference(f, g, NodeId::FALSE).unwrap();
+        prop_assert_eq!(and, and_ref);
+        let or = m.or(f, g).unwrap();
+        let or_ref = m.ite_reference(f, NodeId::TRUE, g).unwrap();
+        prop_assert_eq!(or, or_ref);
+        let ng = m.not(g);
+        let xor = m.xor(f, g).unwrap();
+        let xor_ref = m.ite_reference(f, ng, g).unwrap();
+        prop_assert_eq!(xor, xor_ref);
+        for asg in 0..(1u32 << NVARS) {
+            let fv = eval_tree(&tf, asg);
+            let gv = eval_tree(&tg, asg);
+            let assign = |v: u32| asg >> v & 1 == 1;
+            prop_assert_eq!(m.eval(nf, &assign), !fv, "not, assignment {:05b}", asg);
+            prop_assert_eq!(m.eval(and, &assign), fv && gv, "and, assignment {:05b}", asg);
+            prop_assert_eq!(m.eval(or, &assign), fv || gv, "or, assignment {:05b}", asg);
+            prop_assert_eq!(m.eval(xor, &assign), fv ^ gv, "xor, assignment {:05b}", asg);
+        }
+    }
+
+    /// Mark-and-sweep preserves every rooted function: after building
+    /// extra garbage and collecting, all protected roots still evaluate
+    /// to their truth tables.
+    #[test]
+    fn gc_preserves_rooted_functions(
+        t0 in bool_tree(NVARS),
+        t1 in bool_tree(NVARS),
+        t2 in bool_tree(NVARS),
+        junk in bool_tree(NVARS),
+    ) {
+        let trees = [t0, t1, t2];
+        let mut m = BddManager::new(1 << 18);
+        let roots: Vec<_> = trees
+            .iter()
+            .map(|t| {
+                let f = tree_to_bdd(&mut m, t);
+                m.protect(f);
+                f
+            })
+            .collect();
+        // Unrooted garbage, then an explicit sweep.
+        let _ = tree_to_bdd(&mut m, &junk);
+        let live_before = m.num_nodes();
+        let freed = m.gc();
+        prop_assert_eq!(m.num_nodes(), live_before - freed);
+        for (t, f) in trees.iter().zip(&roots) {
+            for asg in 0..(1u32 << NVARS) {
+                let want = eval_tree(t, asg);
+                prop_assert_eq!(
+                    m.eval(*f, &|v| asg >> v & 1 == 1),
+                    want,
+                    "root must survive GC, assignment {:05b}", asg
+                );
+            }
+        }
+        // The roots stay usable for further operations after the sweep.
+        let conj = m.and(roots[0], roots[1]).unwrap();
+        for asg in 0..(1u32 << NVARS) {
+            let want = eval_tree(&trees[0], asg) && eval_tree(&trees[1], asg);
+            prop_assert_eq!(m.eval(conj, &|v| asg >> v & 1 == 1), want);
         }
     }
 
