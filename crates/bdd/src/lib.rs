@@ -40,6 +40,12 @@
 //! * **Relational product** (`and_exists`) as a first-class fused
 //!   operation, plus order-preserving variable renaming for the
 //!   current/next-state interleaving used by image computation.
+//! * **Cross-manager transfer** ([`transfer`]): one function's cone
+//!   serialized as a compact level-ordered node list (`Send`, no
+//!   manager references) and rebuilt — sharing, complement edges and
+//!   all — inside any manager with the same variable numbering, the
+//!   result arriving rooted. This is the frontier-exchange primitive of
+//!   the threaded POBDD engine and a checkpoint format in one.
 //!
 //! ```
 //! use veridic_bdd::BddManager;
@@ -59,8 +65,10 @@
 mod manager;
 mod ops;
 mod reorder;
+pub mod transfer;
 
 pub use veridic_aig::hash;
 pub use veridic_aig::hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use manager::{BddManager, NodeId, OutOfNodes};
 pub use reorder::{best_window_order, rebuild_with_order};
+pub use transfer::ExportedBdd;

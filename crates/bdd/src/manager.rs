@@ -216,6 +216,12 @@ impl BddManager {
         self.nodes[n.index() as usize].var
     }
 
+    /// Raw node-table entry by index (for the transfer serializer, which
+    /// needs the stored edges rather than the tag-adjusted cofactors).
+    pub(crate) fn node(&self, index: u32) -> Node {
+        self.nodes[index as usize]
+    }
+
     /// The reduced node `(var, lo, hi)`; applies the redundancy rule, the
     /// regular-hi-edge canonicalization, and the unique table.
     pub(crate) fn mk(&mut self, var: u32, lo: NodeId, hi: NodeId) -> Result<NodeId, OutOfNodes> {

@@ -20,10 +20,18 @@ use crate::manager::{BddManager, NodeId, OutOfNodes};
 /// `order_to` must be a permutation of `0..n` where `n` covers the
 /// support of `f`.
 ///
+/// On success the returned node is **rooted in `dst`**: it carries one
+/// [`BddManager::protect`] registration that the caller owns and must
+/// eventually release with [`BddManager::unprotect`] (or re-point with
+/// [`BddManager::reroot`]). Without that handoff the result would be
+/// unrooted the moment the rebuild's memo registrations are released,
+/// and any allocating call on `dst` under quota pressure could
+/// garbage-collect it before the caller roots it.
+///
 /// # Errors
 ///
 /// Returns [`OutOfNodes`] if the destination manager's quota is
-/// exhausted.
+/// exhausted; no root registrations leak on this path.
 pub fn rebuild_with_order(
     src: &BddManager,
     f: NodeId,
@@ -40,6 +48,13 @@ pub fn rebuild_with_order(
     // they are protected for the duration of the rebuild (this also arms
     // `dst`'s automatic garbage collection under quota pressure).
     let out = rebuild(src, f, &position_of, dst, &mut memo);
+    // Root the result *before* the memo registrations are released: the
+    // result is one of the memoized nodes, so unprotecting the memo
+    // first would leave it collectable in the gap before the caller
+    // could protect it (the caller-owns-one-root handoff above).
+    if let Ok(r) = out {
+        dst.protect(r);
+    }
     for r in memo.values() {
         dst.unprotect(*r);
     }
@@ -259,6 +274,32 @@ mod tests {
             permutations(v, k + 1, out);
             v.swap(k, i);
         }
+    }
+
+    /// Regression: `rebuild_with_order` used to unprotect every memoized
+    /// node — including the result — before returning, so a collection
+    /// right after the call (explicit here; under quota pressure in the
+    /// field) freed the rebuilt cone before the caller could root it.
+    /// The fix hands the caller one root registration on the result.
+    #[test]
+    fn result_survives_gc_immediately_after_rebuild() {
+        let mut src = BddManager::new(1 << 16);
+        let f = chained_pairs(&mut src, &[(0, 3), (1, 4), (2, 5)]);
+        let order = vec![0u32, 3, 1, 4, 2, 5];
+        let mut dst = BddManager::new(1 << 16);
+        let g = rebuild_with_order(&src, f, &order, &mut dst).unwrap();
+        let size = dst.size(g);
+        assert_eq!(dst.num_roots(), 1, "exactly the handed-off root remains");
+        dst.gc();
+        assert_eq!(dst.size(g), size, "GC must not reclaim the rooted result");
+        for asg in 0..64u32 {
+            let want = src.eval(f, &|v| asg >> v & 1 == 1);
+            let got = dst.eval(g, &|lvl| asg >> order[lvl as usize] & 1 == 1);
+            assert_eq!(want, got, "assignment {asg:06b}");
+        }
+        // Releasing the handed-off root makes the cone collectable.
+        dst.unprotect(g);
+        assert!(dst.gc() > 0, "unrooted result is garbage again");
     }
 
     #[test]

@@ -1,0 +1,331 @@
+//! Cross-manager BDD transfer: serialize one function out of a
+//! [`BddManager`] as a compact, manager-independent node list and
+//! rebuild it — complement edges, sharing and all — inside another
+//! manager.
+//!
+//! This is the communication primitive for multi-manager schemes: the
+//! threaded POBDD engine exchanges per-window frontier sets between
+//! worker managers through it, and the same representation doubles as a
+//! checkpoint format (a [`ExportedBdd`] owns no manager references and
+//! is `Send`).
+//!
+//! The format is a *level-ordered* list: nodes sorted by variable level,
+//! deepest level first. Since a ROBDD parent's level is strictly above
+//! its children's, every node's children precede it in the list, so
+//! [`import`] is a single forward pass with no fixups. Edges are stored
+//! exactly as the manager holds them (complement tag in bit 0, regular
+//! then-edges per the canonical form), so a roundtrip preserves the node
+//! count, not just the function.
+
+use crate::hash::FxHashMap;
+use crate::manager::{BddManager, NodeId, OutOfNodes};
+
+/// A reference inside an [`ExportedBdd`]: bit 0 is the complement tag,
+/// the remaining bits select the target — `0` is the shared terminal
+/// node, `k > 0` is entry `k - 1` of the node list.
+///
+/// The encoding deliberately mirrors [`NodeId`] (complement in bit 0,
+/// `TRUE`/`FALSE` as the two terminal edges) so translation in both
+/// directions is a shift and a tag transplant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct SlotRef(u32);
+
+impl SlotRef {
+    fn to_slot(slot: usize, complemented: bool) -> SlotRef {
+        SlotRef(((slot as u32 + 1) << 1) | complemented as u32)
+    }
+
+    fn is_terminal(self) -> bool {
+        self.0 < 2
+    }
+
+    fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    fn slot(self) -> usize {
+        (self.0 >> 1) as usize - 1
+    }
+}
+
+/// One exported node: variable level plus its two child references
+/// (`hi` is always regular, mirroring the manager's canonical form).
+#[derive(Clone, Copy, Debug)]
+struct ExportedNode {
+    var: u32,
+    lo: SlotRef,
+    hi: SlotRef,
+}
+
+/// A manager-independent serialization of one BDD function, produced by
+/// [`export`] and consumed by [`import`].
+///
+/// Owns plain data only (no manager references), so it can cross thread
+/// boundaries — this is what the threaded POBDD engine ships between
+/// its per-window worker managers.
+#[derive(Clone, Debug)]
+pub struct ExportedBdd {
+    /// Level-ordered (deepest variable first): children precede parents.
+    nodes: Vec<ExportedNode>,
+    root: SlotRef,
+}
+
+impl ExportedBdd {
+    /// Number of nodes the function will occupy in any manager,
+    /// terminal included — the same figure [`BddManager::size`] reports
+    /// for the root on either side of a transfer.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() + 1
+    }
+
+    /// True if the exported function is a constant.
+    pub fn is_constant(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Serializes the function `f` of `src` into a manager-independent
+/// [`ExportedBdd`].
+///
+/// Pure read: allocates nothing in `src` and cannot fail. The export
+/// enumerates only `f`'s cone (not the whole table) and keeps all
+/// sharing: each reachable node appears exactly once, complement tags
+/// ride on the edges.
+pub fn export(src: &BddManager, f: NodeId) -> ExportedBdd {
+    if f.is_terminal() {
+        return ExportedBdd {
+            nodes: Vec::new(),
+            root: SlotRef(f.0), // terminal encodings coincide
+        };
+    }
+    // Collect the reachable node indices (complement tags ignored: f and
+    // ¬f share every node).
+    let mut indices: Vec<u32> = Vec::new();
+    let mut seen: FxHashMap<u32, usize> = FxHashMap::default();
+    let mut stack = vec![f.index()];
+    while let Some(i) = stack.pop() {
+        if seen.contains_key(&i) {
+            continue;
+        }
+        seen.insert(i, usize::MAX); // slot assigned after sorting
+        indices.push(i);
+        let node = src.node(i);
+        if !node.lo.is_terminal() {
+            stack.push(node.lo.index());
+        }
+        if !node.hi.is_terminal() {
+            stack.push(node.hi.index());
+        }
+    }
+    // Level order, deepest first; ties broken by source index so the
+    // layout is deterministic for a given manager state.
+    indices.sort_unstable_by(|a, b| {
+        let (va, vb) = (src.node(*a).var, src.node(*b).var);
+        vb.cmp(&va).then(a.cmp(b))
+    });
+    for (slot, i) in indices.iter().enumerate() {
+        seen.insert(*i, slot);
+    }
+    let translate = |edge: NodeId| -> SlotRef {
+        if edge.is_terminal() {
+            SlotRef(edge.0)
+        } else {
+            SlotRef::to_slot(seen[&edge.index()], edge.is_complemented())
+        }
+    };
+    let nodes = indices
+        .iter()
+        .map(|i| {
+            let node = src.node(*i);
+            ExportedNode { var: node.var, lo: translate(node.lo), hi: translate(node.hi) }
+        })
+        .collect();
+    ExportedBdd { nodes, root: translate(f) }
+}
+
+/// Rebuilds an exported function inside `dst`, which may be a different
+/// manager in any state (fresh, mid-computation, another thread's) as
+/// long as it uses the same variable numbering.
+///
+/// The import is memoized per list slot — shared subgraphs are built
+/// once — and the returned root arrives **rooted**: it carries one
+/// [`BddManager::protect`] registration that the caller owns and must
+/// eventually release with [`BddManager::unprotect`] (or hand off with
+/// [`BddManager::reroot`]). Intermediate nodes are protected only for
+/// the duration of the import, so a quota-pressure collection during or
+/// after the call cannot reclaim the result or its cone but leaves no
+/// stray registrations behind.
+///
+/// # Errors
+///
+/// Returns [`OutOfNodes`] if `dst`'s quota is exhausted even after
+/// garbage collection; no root registrations leak on this path.
+pub fn import(exported: &ExportedBdd, dst: &mut BddManager) -> Result<NodeId, OutOfNodes> {
+    let resolve = |memo: &[NodeId], r: SlotRef| -> NodeId {
+        if r.is_terminal() {
+            NodeId(r.0)
+        } else {
+            let base = memo[r.slot()];
+            if r.is_complemented() {
+                !base
+            } else {
+                base
+            }
+        }
+    };
+    // Every imported node is protected until the end of the import so a
+    // collection triggered by a later `mk` cannot reclaim the partially
+    // rebuilt cone (and the first protect arms automatic GC in `dst`).
+    let mut memo: Vec<NodeId> = Vec::with_capacity(exported.nodes.len());
+    let mut failed: Option<OutOfNodes> = None;
+    for n in &exported.nodes {
+        let lo = resolve(&memo, n.lo);
+        let hi = resolve(&memo, n.hi);
+        match dst.run_with_gc(&[lo, hi], |m| m.mk(n.var, lo, hi)) {
+            Ok(r) => {
+                dst.protect(r);
+                memo.push(r);
+            }
+            Err(e) => {
+                failed = Some(e);
+                break;
+            }
+        }
+    }
+    // Root the result before the memo registrations are released — the
+    // same protect-across-release handoff `rebuild_with_order` uses.
+    let out = match failed {
+        None => {
+            let root = resolve(&memo, exported.root);
+            dst.protect(root);
+            Ok(root)
+        }
+        Some(e) => Err(e),
+    };
+    for r in &memo {
+        dst.unprotect(*r);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assignments(nvars: u32) -> impl Iterator<Item = u32> {
+        0..(1u32 << nvars)
+    }
+
+    /// xor chain over the given vars — linear with complement edges and
+    /// heavy on complemented lo-edges, the interesting transfer case.
+    fn xor_chain(m: &mut BddManager, vars: &[u32]) -> NodeId {
+        let mut f = NodeId::FALSE;
+        for &v in vars {
+            let x = m.var(v).unwrap();
+            f = m.xor(f, x).unwrap();
+        }
+        f
+    }
+
+    #[test]
+    fn terminals_roundtrip() {
+        let src = BddManager::new(16);
+        let mut dst = BddManager::new(16);
+        for c in [NodeId::TRUE, NodeId::FALSE] {
+            let e = export(&src, c);
+            assert!(e.is_constant());
+            assert_eq!(e.node_count(), 1);
+            assert_eq!(import(&e, &mut dst).unwrap(), c);
+        }
+        assert_eq!(dst.num_nodes(), 1, "constants allocate nothing");
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure_and_semantics() {
+        let mut src = BddManager::new(1 << 16);
+        let f = xor_chain(&mut src, &[0, 1, 2, 3]);
+        let e = export(&src, f);
+        assert_eq!(e.node_count(), src.size(f));
+        let mut dst = BddManager::new(1 << 16);
+        let g = import(&e, &mut dst).unwrap();
+        assert_eq!(dst.size(g), src.size(f), "sharing survives the transfer");
+        for asg in assignments(4) {
+            assert_eq!(
+                dst.eval(g, &|v| asg >> v & 1 == 1),
+                src.eval(f, &|v| asg >> v & 1 == 1),
+                "assignment {asg:04b}"
+            );
+        }
+    }
+
+    #[test]
+    fn complemented_root_roundtrips() {
+        let mut src = BddManager::new(1 << 16);
+        let f = xor_chain(&mut src, &[0, 1]);
+        let e = export(&src, !f);
+        let mut dst = BddManager::new(1 << 16);
+        let g = import(&e, &mut dst).unwrap();
+        for asg in assignments(2) {
+            assert_eq!(
+                dst.eval(g, &|v| asg >> v & 1 == 1),
+                src.eval(!f, &|v| asg >> v & 1 == 1)
+            );
+        }
+    }
+
+    #[test]
+    fn import_into_populated_manager_reuses_shared_nodes() {
+        let mut src = BddManager::new(1 << 16);
+        let a = src.var(0).unwrap();
+        let b = src.var(1).unwrap();
+        let f = src.and(a, b).unwrap();
+        // dst already holds the same function (plus unrelated junk).
+        let mut dst = BddManager::new(1 << 16);
+        let da = dst.var(0).unwrap();
+        let db = dst.var(1).unwrap();
+        let existing = dst.and(da, db).unwrap();
+        let _junk = dst.xor(da, db).unwrap();
+        let nodes_before = dst.num_nodes();
+        let g = import(&export(&src, f), &mut dst).unwrap();
+        assert_eq!(g, existing, "hash-consing unifies the imported cone");
+        assert_eq!(dst.num_nodes(), nodes_before, "no duplicate nodes");
+        dst.unprotect(g);
+    }
+
+    #[test]
+    fn import_roots_the_result_on_arrival() {
+        let mut src = BddManager::new(1 << 16);
+        let f = xor_chain(&mut src, &[0, 1, 2]);
+        let e = export(&src, f);
+        let mut dst = BddManager::new(1 << 16);
+        let roots_before = dst.num_roots();
+        let g = import(&e, &mut dst).unwrap();
+        assert_eq!(
+            dst.num_roots(),
+            roots_before + 1,
+            "exactly the result registration remains"
+        );
+        // An immediate sweep must not touch the imported cone.
+        let size = dst.size(g);
+        dst.gc();
+        assert_eq!(dst.size(g), size);
+        for asg in assignments(3) {
+            assert_eq!(
+                dst.eval(g, &|v| asg >> v & 1 == 1),
+                src.eval(f, &|v| asg >> v & 1 == 1)
+            );
+        }
+        dst.unprotect(g);
+    }
+
+    #[test]
+    fn quota_failure_leaks_no_roots() {
+        let mut src = BddManager::new(1 << 16);
+        let f = xor_chain(&mut src, &[0, 1, 2, 3, 4, 5]);
+        let e = export(&src, f);
+        // Too small for the 7-node chain (terminal + 6 levels).
+        let mut dst = BddManager::new(4);
+        assert!(import(&e, &mut dst).is_err());
+        assert_eq!(dst.num_roots(), 0, "failed import must unwind its roots");
+    }
+}

@@ -24,6 +24,7 @@ fn partition(c: &mut Criterion) {
     let mono_peak = std::cell::Cell::new(0usize);
     let part_gen_peak = std::cell::Cell::new(0usize);
     let part_tight_peak = std::cell::Cell::new(0usize);
+    let part_par_workers = std::cell::RefCell::new(Vec::<PartitionWorkerStats>::new());
 
     let mut group = c.benchmark_group("fig7");
     group.sample_size(10);
@@ -64,11 +65,28 @@ fn partition(c: &mut Criterion) {
             part_tight_peak.set(peak.unwrap_or(0));
         })
     });
+    // Intra-property fan-out: the same tight-budget corns across two
+    // worker threads (deterministic round-robin assignment, so the
+    // per-worker peaks below are stable run to run and comparable in
+    // BENCH_BASELINE.json).
+    group.bench_function("partitioned_parallel", |b| {
+        b.iter(|| {
+            let run = run_partition_with_workers(&steps, &tight, 2);
+            assert!(run.all_proved);
+            *part_par_workers.borrow_mut() = run.worker_stats;
+        })
+    });
     group.finish();
 
     println!("fig7/monolithic_generous  peak_live {} nodes", mono_peak.get());
     println!("fig7/partitioned_generous  peak_live {} nodes", part_gen_peak.get());
     println!("fig7/partitioned_tight  peak_live {} nodes", part_tight_peak.get());
+    let workers = part_par_workers.borrow();
+    let par_peak = workers.iter().map(|w| w.peak_bdd_nodes).max().unwrap_or(0);
+    println!("fig7/partitioned_parallel  peak_live {par_peak} nodes");
+    for (i, w) in workers.iter().enumerate() {
+        println!("fig7/partitioned_parallel/w{i}  peak_live {} nodes", w.peak_bdd_nodes);
+    }
 }
 
 criterion_group! {

@@ -69,6 +69,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if run.steps.len() > 4 {
         println!("      ... ({} more corns)", run.steps.len() - 4);
     }
+
+    // (3) the same corns fanned out across two worker threads.
+    let t2 = Instant::now();
+    let par = run_partition_with_workers(&steps, &tight, 2);
+    let par_time = t2.elapsed();
+    println!(
+        "\n(3) parallel corns   : 2 workers, all proved = {}, in {:?}",
+        par.all_proved, par_time
+    );
+    for (i, w) in par.worker_stats.iter().enumerate() {
+        println!(
+            "      worker {i}: peak live {} nodes, {} allocated",
+            w.peak_bdd_nodes, w.bdd_allocated
+        );
+    }
     if matches!(mono.verdict, Verdict::ResourceOut { .. }) {
         println!("\nshape: monolithic times out; the same budget proves every corn.");
     } else {

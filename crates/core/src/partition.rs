@@ -224,6 +224,18 @@ pub fn decomposition_is_acyclic(steps: &[PartitionStep], orig: &Module) -> Resul
     Ok(())
 }
 
+/// Per-worker BDD accounting of one [`run_partition_with_workers`] run:
+/// with the deterministic round-robin corn assignment, both figures are
+/// reproducible for a fixed worker count (they feed the bench
+/// `peak_live` lines).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PartitionWorkerStats {
+    /// Largest per-check peak of any corn this worker ran.
+    pub peak_bdd_nodes: usize,
+    /// Total BDD nodes allocated across this worker's corns.
+    pub bdd_allocated: u64,
+}
+
 /// Outcome of running one partitioned proof.
 #[derive(Clone, Debug)]
 pub struct PartitionRun {
@@ -231,33 +243,104 @@ pub struct PartitionRun {
     pub steps: Vec<(String, CheckResult)>,
     /// True if every step proved.
     pub all_proved: bool,
+    /// Per-worker accounting, in worker-index order (a single entry for
+    /// a serial run).
+    pub worker_stats: Vec<PartitionWorkerStats>,
 }
 
-/// Checks every step of a partition under the given budgets.
+/// Compiles and checks one partition step.
+fn run_step(step: &PartitionStep, opts: &CheckOptions) -> (String, CheckResult) {
+    let units = parse_psl(&step.vunit_src).expect("step vunit parses");
+    let compiled = compile_vunit(&units[0], &step.module).expect("step vunit compiles");
+    let lowered = compiled.module.to_aig().expect("cut module lowers");
+    let mut aig = lowered.aig.clone();
+    for (label, net) in &compiled.asserts {
+        aig.add_bad(label.clone(), lowered.bit(*net, 0));
+    }
+    for (label, net) in &compiled.assumes {
+        aig.add_constraint(label.clone(), !lowered.bit(*net, 0));
+    }
+    (step.name.clone(), check(&aig, opts))
+}
+
+/// Checks every step of a partition under the given budgets, serially
+/// (one worker). See [`run_partition_with_workers`] for the fan-out
+/// variant.
 ///
 /// # Panics
 ///
 /// Panics if a generated step vunit fails to parse or compile (generator
 /// bug).
 pub fn run_partition(steps: &[PartitionStep], opts: &CheckOptions) -> PartitionRun {
-    let mut results = Vec::new();
-    let mut all = true;
-    for step in steps {
-        let units = parse_psl(&step.vunit_src).expect("step vunit parses");
-        let compiled = compile_vunit(&units[0], &step.module).expect("step vunit compiles");
-        let lowered = compiled.module.to_aig().expect("cut module lowers");
-        let mut aig = lowered.aig.clone();
-        for (label, net) in &compiled.asserts {
-            aig.add_bad(label.clone(), lowered.bit(*net, 0));
-        }
-        for (label, net) in &compiled.assumes {
-            aig.add_constraint(label.clone(), !lowered.bit(*net, 0));
-        }
-        let r = check(&aig, opts);
-        all &= r.verdict.is_proved();
-        results.push((step.name.clone(), r));
+    run_partition_with_workers(steps, opts, 1)
+}
+
+/// Checks every step of a partition, fanning the corns out across
+/// `workers` threads (`0` = one per available CPU).
+///
+/// Corn assignment is a deterministic round-robin — worker `i` runs
+/// steps `i, i + W, i + 2W, …` — and results are merged back in step
+/// order, so the run is reproducible for any worker count: the verdict
+/// list is identical to the serial run, and each worker's accounting in
+/// [`PartitionRun::worker_stats`] is stable for a fixed `W` (the
+/// determinism contract the `fig7/partitioned_parallel` bench leans
+/// on). Each corn's `check` owns its engines; nothing is shared across
+/// threads.
+///
+/// # Panics
+///
+/// Panics if a generated step vunit fails to parse or compile (generator
+/// bug).
+pub fn run_partition_with_workers(
+    steps: &[PartitionStep],
+    opts: &CheckOptions,
+    workers: usize,
+) -> PartitionRun {
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        workers
     }
-    PartitionRun { steps: results, all_proved: all }
+    .min(steps.len().max(1));
+    let per_worker: Vec<Vec<(usize, (String, CheckResult))>> = if workers <= 1 {
+        vec![steps.iter().enumerate().map(|(i, s)| (i, run_step(s, opts))).collect()]
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|wid| {
+                    s.spawn(move || {
+                        steps
+                            .iter()
+                            .enumerate()
+                            .skip(wid)
+                            .step_by(workers)
+                            .map(|(i, step)| (i, run_step(step, opts)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("partition worker panicked"))
+                .collect()
+        })
+    };
+    let worker_stats = per_worker
+        .iter()
+        .map(|corns| PartitionWorkerStats {
+            peak_bdd_nodes: corns.iter().map(|(_, (_, r))| r.stats.bdd_nodes).max().unwrap_or(0),
+            bdd_allocated: corns.iter().map(|(_, (_, r))| r.stats.bdd_allocated).sum(),
+        })
+        .collect();
+    // Merge in step order, never completion order.
+    let mut slots: Vec<Option<(String, CheckResult)>> = (0..steps.len()).map(|_| None).collect();
+    for (i, result) in per_worker.into_iter().flatten() {
+        slots[i] = Some(result);
+    }
+    let results: Vec<(String, CheckResult)> =
+        slots.into_iter().map(|r| r.expect("every step ran")).collect();
+    let all = results.iter().all(|(_, r)| r.verdict.is_proved());
+    PartitionRun { steps: results, all_proved: all, worker_stats }
 }
 
 /// Builds the Figure-7 demonstration module: a deep chain of
@@ -365,6 +448,39 @@ mod tests {
             "every corn must prove: {:?}",
             run.steps.iter().map(|(n, r)| (n.clone(), r.verdict.clone())).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn parallel_partition_matches_serial() {
+        let vm = chain_vm(6);
+        let steps = partition_output_integrity(&vm, 0).unwrap();
+        let opts = CheckOptions {
+            bdd_nodes: 60_000,
+            sat_conflicts: 50_000,
+            bmc_depth: 8,
+            induction_depth: 6,
+            ..CheckOptions::default()
+        };
+        let serial = run_partition(&steps, &opts);
+        assert_eq!(serial.worker_stats.len(), 1);
+        for workers in [2usize, 3, 0] {
+            let par = run_partition_with_workers(&steps, &opts, workers);
+            assert_eq!(par.all_proved, serial.all_proved, "workers={workers}");
+            assert_eq!(par.steps.len(), serial.steps.len());
+            for ((an, ar), (bn, br)) in serial.steps.iter().zip(&par.steps) {
+                assert_eq!(an, bn, "corn order must be step order, workers={workers}");
+                assert_eq!(ar.verdict, br.verdict, "corn {an}, workers={workers}");
+                assert_eq!(ar.stats.iterations, br.stats.iterations, "corn {an}");
+            }
+            // Per-worker accounting covers every worker and adds up to
+            // the same total allocations as the serial run.
+            assert!(!par.worker_stats.is_empty());
+            assert_eq!(
+                par.worker_stats.iter().map(|w| w.bdd_allocated).sum::<u64>(),
+                serial.worker_stats[0].bdd_allocated,
+                "workers={workers}"
+            );
+        }
     }
 
     #[test]

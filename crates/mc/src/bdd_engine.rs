@@ -343,14 +343,21 @@ pub fn bdd_umc(
         if ts.intersects_bad(frontier) {
             return Ok(BddEngineOutcome::FalsifiedAtDepth(0));
         }
+        // `stats.iterations` counts *completed* rounds: a round that
+        // concludes the check (fixpoint or falsification) counts, a
+        // round aborted by the quota does not — the same convention as
+        // `pobdd_reach`, so a quota failure during the depth-d image
+        // reports d-1 from both engines (it used to report d-1 here and
+        // d there, skewing Tables 2/3 between engines).
         for depth in 1..=max_iterations {
             let img = ts.image(frontier)?;
             let new = ts.mgr.and_not(img, reached)?;
-            stats.iterations = depth;
             if new == NodeId::FALSE {
+                stats.iterations = depth;
                 return Ok(BddEngineOutcome::Proved);
             }
             if ts.intersects_bad(new) {
+                stats.iterations = depth;
                 return Ok(BddEngineOutcome::FalsifiedAtDepth(depth));
             }
             ts.mgr.protect(new); // becomes the next frontier
@@ -359,6 +366,7 @@ pub fn bdd_umc(
             reached = r;
             ts.mgr.unprotect(frontier);
             frontier = new;
+            stats.iterations = depth;
         }
         Ok(BddEngineOutcome::ResourceOut)
     })();

@@ -109,15 +109,46 @@ impl Verdict {
     }
 }
 
+/// Per-worker BDD manager accounting for the threaded POBDD engine
+/// (one entry per worker thread, in worker-index order).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BddWorkerStats {
+    /// The worker manager's live-node high-water mark.
+    pub peak_live_nodes: usize,
+    /// Total nodes the worker's manager ever allocated.
+    pub allocated: u64,
+    /// True if this worker's manager exhausted its quota.
+    pub quota_hit: bool,
+}
+
+/// Cone-of-influence size of one checked bad, recorded per bad so
+/// multi-bad checks don't smear (the summary fields used to be
+/// overwritten by whichever bad was checked last).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BadCoiStats {
+    /// Name of the bad (from [`Aig::bads`]).
+    pub bad: String,
+    /// Latches in this bad's cone of influence.
+    pub latches: usize,
+    /// ANDs in this bad's cone of influence.
+    pub ands: usize,
+}
+
 /// Per-check statistics for reporting.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct CheckStats {
-    /// Engines attempted, in order, with their outcomes.
+    /// Engines attempted, in order, with their outcomes. Each entry is
+    /// prefixed with the name of the bad it ran for (`"<bad>/<engine>:
+    /// <outcome>"`), so multi-bad checks stay attributable.
     pub engines_tried: Vec<String>,
-    /// AIG latches after cone-of-influence reduction.
+    /// AIG latches after cone-of-influence reduction: the **maximum**
+    /// over all checked bads (see [`CheckStats::per_bad_coi`] for the
+    /// per-bad breakdown).
     pub coi_latches: usize,
-    /// AIG ANDs after COI.
+    /// AIG ANDs after COI (maximum over all checked bads).
     pub coi_ands: usize,
+    /// Per-bad COI sizes, in check order.
+    pub per_bad_coi: Vec<BadCoiStats>,
     /// Peak **live** BDD nodes (if a BDD engine ran): the garbage
     /// collector's high-water mark, recorded on every exit path
     /// including quota-exhausted transition-system builds.
@@ -130,8 +161,17 @@ pub struct CheckStats {
     pub bdd_quota_hits: usize,
     /// Total SAT conflicts (across all SAT calls).
     pub sat_conflicts: u64,
-    /// Reachability iterations performed by the concluding engine.
+    /// Reachability rounds **completed** by the concluding BDD engine.
+    /// A round that concludes the check (fixpoint or falsification)
+    /// counts as completed; a round aborted by the node quota does not
+    /// — both engines follow this convention, so a quota failure during
+    /// the depth-d image reports d-1 everywhere.
     pub iterations: usize,
+    /// Per-worker manager accounting of the most recent partitioned-OBDD
+    /// run (replaced wholesale each run; empty if the POBDD engine never
+    /// ran). One entry per worker thread, in worker-index order; the
+    /// serial engine reports a single entry.
+    pub worker_bdd: Vec<BddWorkerStats>,
 }
 
 /// The result of [`check`]: verdict plus statistics.
@@ -161,6 +201,15 @@ pub struct CheckOptions {
     /// Number of POBDD window variables (2^k partitions); 0 disables the
     /// POBDD fallback.
     pub pobdd_window_vars: u32,
+    /// Worker threads for the POBDD engine: each window partition's
+    /// fixpoint runs in its own thread with its own BDD manager,
+    /// exchanging frontiers between synchronous rounds (verdicts and
+    /// depths are worker-count-independent; see
+    /// [`pobdd_reach`]). `0` = one per available CPU. The default of
+    /// `1` keeps the engine serial so it composes with campaign-level
+    /// parallelism (`CampaignConfig::workers` in `veridic-core`)
+    /// without oversubscribing; raise it for single hard properties.
+    pub pobdd_workers: usize,
     /// Skip the SAT engines (BDD-only portfolio).
     pub bdd_only: bool,
     /// Skip the BDD engines (SAT-only portfolio).
@@ -185,6 +234,7 @@ impl Default for CheckOptions {
             bdd_nodes: 1 << 21,
             max_iterations: 10_000,
             pobdd_window_vars: 2,
+            pobdd_workers: 1,
             bdd_only: false,
             sat_only: false,
         }
@@ -203,6 +253,7 @@ impl CheckOptions {
             bdd_nodes: 2_000,
             max_iterations: 64,
             pobdd_window_vars: 0,
+            pobdd_workers: 1,
             bdd_only: false,
             sat_only: false,
         }
@@ -249,12 +300,21 @@ pub fn check_one(
     roots.extend(aig.constraints().iter().map(|c| c.lit));
     let coi = aig.extract_coi(&roots);
     let mut sub = coi.aig;
-    sub.add_bad(aig.bads()[bad_index].name.clone(), coi.roots[0]);
+    let bad_name = aig.bads()[bad_index].name.clone();
+    sub.add_bad(bad_name.clone(), coi.roots[0]);
     for (i, c) in aig.constraints().iter().enumerate() {
         sub.add_constraint(c.name.clone(), coi.roots[1 + i]);
     }
-    stats.coi_latches = sub.num_latches();
-    stats.coi_ands = sub.num_ands();
+    // Per-bad COI sizes: the summary fields aggregate by max so a
+    // multi-bad check reports its hardest cone instead of whichever bad
+    // happened to be checked last.
+    stats.coi_latches = stats.coi_latches.max(sub.num_latches());
+    stats.coi_ands = stats.coi_ands.max(sub.num_ands());
+    stats.per_bad_coi.push(BadCoiStats {
+        bad: bad_name.clone(),
+        latches: sub.num_latches(),
+        ands: sub.num_ands(),
+    });
 
     // Map a trace on the reduced AIG back to the full input space.
     let expand_trace = |t: Trace| -> Trace {
@@ -276,16 +336,16 @@ pub fn check_one(
             bmc::BmcOutcome::Falsified(t) => {
                 let full = expand_trace(Trace { inputs: t.inputs, bad_index });
                 assert!(full.replays_on(aig), "BMC counterexample failed replay");
-                stats.engines_tried.push("bmc: falsified".into());
+                stats.engines_tried.push(format!("{bad_name}/bmc: falsified"));
                 return Verdict::Falsified(full);
             }
             bmc::BmcOutcome::NoCounterexample => {
                 stats
                     .engines_tried
-                    .push(format!("bmc: clean to depth {}", opts.bmc_depth));
+                    .push(format!("{bad_name}/bmc: clean to depth {}", opts.bmc_depth));
             }
             bmc::BmcOutcome::ResourceOut => {
-                stats.engines_tried.push("bmc: resource-out".into());
+                stats.engines_tried.push(format!("{bad_name}/bmc: resource-out"));
                 reasons.push(format!("BMC conflict budget ({})", opts.sat_conflicts));
             }
         }
@@ -297,14 +357,14 @@ pub fn check_one(
             stats,
         ) {
             bmc::InductionOutcome::Proved(k) => {
-                stats.engines_tried.push(format!("induction: proved at k={k}"));
+                stats.engines_tried.push(format!("{bad_name}/induction: proved at k={k}"));
                 return Verdict::Proved { engine: "bmc-induction" };
             }
             bmc::InductionOutcome::Unknown => {
-                stats.engines_tried.push("induction: inconclusive".into());
+                stats.engines_tried.push(format!("{bad_name}/induction: inconclusive"));
             }
             bmc::InductionOutcome::ResourceOut => {
-                stats.engines_tried.push("induction: resource-out".into());
+                stats.engines_tried.push(format!("{bad_name}/induction: resource-out"));
                 reasons.push("induction conflict budget".into());
             }
         }
@@ -313,13 +373,13 @@ pub fn check_one(
     if !opts.sat_only {
         match bdd_engine::bdd_umc(&sub, opts.bdd_nodes, opts.max_iterations, stats) {
             BddEngineOutcome::Proved => {
-                stats.engines_tried.push("bdd-umc: proved".into());
+                stats.engines_tried.push(format!("{bad_name}/bdd-umc: proved"));
                 return Verdict::Proved { engine: "bdd-umc" };
             }
             BddEngineOutcome::FalsifiedAtDepth(k) => {
                 stats
                     .engines_tried
-                    .push(format!("bdd-umc: bad reachable at depth {k}"));
+                    .push(format!("{bad_name}/bdd-umc: bad reachable at depth {k}"));
                 // Extract the trace with a depth-pinned BMC run.
                 match bmc::bmc_check(&sub, k, k, u64::MAX, stats) {
                     bmc::BmcOutcome::Falsified(t) => {
@@ -333,7 +393,7 @@ pub fn check_one(
                 }
             }
             BddEngineOutcome::ResourceOut => {
-                stats.engines_tried.push("bdd-umc: resource-out".into());
+                stats.engines_tried.push(format!("{bad_name}/bdd-umc: resource-out"));
                 reasons.push(format!("BDD node quota ({})", opts.bdd_nodes));
             }
         }
@@ -341,16 +401,17 @@ pub fn check_one(
             match pobdd::pobdd_reach(
                 &sub,
                 opts.pobdd_window_vars,
+                opts.pobdd_workers,
                 opts.bdd_nodes,
                 opts.max_iterations,
                 stats,
             ) {
                 BddEngineOutcome::Proved => {
-                    stats.engines_tried.push("pobdd-umc: proved".into());
+                    stats.engines_tried.push(format!("{bad_name}/pobdd-umc: proved"));
                     return Verdict::Proved { engine: "pobdd-umc" };
                 }
                 BddEngineOutcome::FalsifiedAtDepth(k) => {
-                    stats.engines_tried.push(format!("pobdd-umc: bad at depth {k}"));
+                    stats.engines_tried.push(format!("{bad_name}/pobdd-umc: bad at depth {k}"));
                     match bmc::bmc_check(&sub, k, k, u64::MAX, stats) {
                         bmc::BmcOutcome::Falsified(t) => {
                             let full = expand_trace(Trace { inputs: t.inputs, bad_index });
@@ -363,7 +424,7 @@ pub fn check_one(
                     }
                 }
                 BddEngineOutcome::ResourceOut => {
-                    stats.engines_tried.push("pobdd-umc: resource-out".into());
+                    stats.engines_tried.push(format!("{bad_name}/pobdd-umc: resource-out"));
                     reasons.push("POBDD node quota".into());
                 }
             }
@@ -478,6 +539,50 @@ mod tests {
                 (a, b) => panic!("disagreement at bad_at={bad_at}: {a:?} vs {b:?}"),
             }
         }
+    }
+
+    /// Regression: `check()` used to overwrite `coi_latches`/`coi_ands`
+    /// per bad (last checked wins) and left `engines_tried` entries
+    /// unattributed, so a multi-bad property's stats described whichever
+    /// bad happened to be checked last. The fix records per-bad COI
+    /// sizes, max-aggregates the summary, and prefixes engine entries
+    /// with the bad name.
+    #[test]
+    fn multi_bad_stats_are_attributed_per_bad() {
+        // Bad 0: a 3-latch false shift register (3-latch cone, proved).
+        // Bad 1: a single stuck latch (1-latch cone, proved).
+        let mut g = Aig::new();
+        let (a0, q0) = g.latch("a0", false);
+        g.set_next(a0, q0); // stuck false
+        let (a1, q1) = g.latch("a1", false);
+        g.set_next(a1, q0);
+        let (a2, q2) = g.latch("a2", false);
+        g.set_next(a2, q1);
+        g.add_bad("chain_high", q2);
+        let (s, qs) = g.latch("stuck", false);
+        g.set_next(s, qs);
+        g.add_bad("stuck_high", qs);
+        let r = check(&g, &CheckOptions::default());
+        assert!(matches!(r.verdict, Verdict::Proved { .. }), "{:?}", r.verdict);
+        // Per-bad COI breakdown, in check order.
+        assert_eq!(r.stats.per_bad_coi.len(), 2);
+        assert_eq!(r.stats.per_bad_coi[0].bad, "chain_high");
+        assert_eq!(r.stats.per_bad_coi[0].latches, 3);
+        assert_eq!(r.stats.per_bad_coi[1].bad, "stuck_high");
+        assert_eq!(r.stats.per_bad_coi[1].latches, 1);
+        // Summary is the max over bads — the old code reported the last
+        // checked bad's 1-latch cone here.
+        assert_eq!(r.stats.coi_latches, 3);
+        // Engine attempts are attributed to their bad.
+        assert!(!r.stats.engines_tried.is_empty());
+        for e in &r.stats.engines_tried {
+            assert!(
+                e.starts_with("chain_high/") || e.starts_with("stuck_high/"),
+                "unattributed engine entry: {e}"
+            );
+        }
+        assert!(r.stats.engines_tried.iter().any(|e| e.starts_with("chain_high/")));
+        assert!(r.stats.engines_tried.iter().any(|e| e.starts_with("stuck_high/")));
     }
 
     #[test]

@@ -4,19 +4,124 @@
 //! partition with cross-partition frontier exchange. Each partition's
 //! reached-set BDD stays smaller than the monolithic one, postponing node
 //! blow-up.
+//!
+//! With `workers > 1` the window partitions additionally fan out across
+//! threads: every worker owns a deterministic subset of the windows and
+//! a private [`TransitionSystem`]/manager built from the shared AIG, and
+//! frontiers cross worker boundaries between synchronous rounds through
+//! the [`veridic_bdd::transfer`] layer. Verdicts, falsification depths
+//! and iteration counts are identical to the serial engine for any
+//! worker count (see the determinism notes on [`pobdd_reach`]).
 
 use crate::bdd_engine::{BddEngineOutcome, TransitionSystem};
-use crate::CheckStats;
+use crate::{BddWorkerStats, CheckStats};
+use std::sync::mpsc::{Receiver, Sender};
 use veridic_aig::Aig;
+use veridic_bdd::transfer::{self, ExportedBdd};
 use veridic_bdd::{NodeId, OutOfNodes};
 
 /// Partitioned forward reachability with `window_vars` splitting
-/// variables (2^k windows).
+/// variables (up to 2^k windows) across `workers` threads (`0` = one
+/// per available CPU, `1` = serial in the calling thread).
 ///
 /// Splitting variables are the current-state variables with the highest
 /// occurrence count across transition-relation clusters — a cheap proxy
 /// for "most entangled", which is where partitioning pays off.
+/// Variables that occur in *no* cluster are never selected: a
+/// zero-occurrence split variable would double the window count (and
+/// the thread fan-out) with zero reached-set-size benefit, so the
+/// effective window count is clamped to 2^(entangled variables) even
+/// when `window_vars` asks for more.
+///
+/// # Determinism
+///
+/// Rounds are globally synchronous: depth `d` ends only when every
+/// window's depth-`d` image has been distributed and absorbed, so the
+/// outcome, the falsification depth and [`CheckStats::iterations`] are
+/// the same for any worker count — threads change *where* each window's
+/// fixpoint runs, never *what* a round computes. The per-window bad
+/// checks commute (the set of states first reached at depth `d` is
+/// schedule-independent), and a falsifying round always reports its own
+/// depth. The one caveat is quota exhaustion: each worker's manager
+/// gets the full `node_quota`, so a run that exhausts the quota under
+/// one worker layout may fit under another; runs that conclude within
+/// quota agree everywhere. Per-worker manager accounting lands in
+/// [`CheckStats::worker_bdd`].
 pub fn pobdd_reach(
+    aig: &Aig,
+    window_vars: u32,
+    workers: usize,
+    node_quota: usize,
+    max_iterations: usize,
+    stats: &mut CheckStats,
+) -> BddEngineOutcome {
+    let workers = effective_workers(workers, window_vars, aig);
+    if workers <= 1 {
+        serial_reach(aig, window_vars, node_quota, max_iterations, stats)
+    } else {
+        parallel_reach(aig, window_vars, workers, node_quota, max_iterations, stats)
+    }
+}
+
+/// Resolves the requested worker count: `0` means one per available
+/// CPU, and the result is clamped to an upper bound on the window count
+/// (`2^min(window_vars, structurally entangled latches)`) so spawning a
+/// worker that cannot possibly own a window is avoided without building
+/// any BDDs. The bound uses the *structural* entanglement count — BDD
+/// support is a subset of structural support — so in rare cases where
+/// semantic cancellation drops further split variables a worker can
+/// still end up owning no windows; it then builds its transition system
+/// once and idles through the barriers.
+fn effective_workers(requested: usize, window_vars: u32, aig: &Aig) -> usize {
+    let requested = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
+    };
+    if requested <= 1 {
+        return 1;
+    }
+    // Cap the shift well below usize bits; 2^16 windows is already far
+    // beyond any sensible fan-out.
+    let entangled = structurally_entangled_latches(aig) as u32;
+    let max_parts = 1usize << window_vars.min(entangled).min(16);
+    requested.clamp(1, max_parts)
+}
+
+/// Number of latches whose output appears in the combinational cone of
+/// some latch's next-state function — a cheap structural upper bound on
+/// the variables [`choose_split_vars`] can select (its cluster-support
+/// counts see the BDD support, a subset of the structural one). Costs
+/// one AIG walk, no BDDs.
+fn structurally_entangled_latches(aig: &Aig) -> usize {
+    use veridic_aig::hash::FxHashSet;
+    let latch_vars: FxHashSet<veridic_aig::Var> =
+        aig.latches().iter().map(|l| l.var).collect();
+    let mut seen: FxHashSet<veridic_aig::Var> = FxHashSet::default();
+    let mut entangled: FxHashSet<veridic_aig::Var> = FxHashSet::default();
+    let mut stack: Vec<veridic_aig::Var> =
+        aig.latches().iter().map(|l| l.next.var()).collect();
+    while let Some(v) = stack.pop() {
+        if !seen.insert(v) {
+            continue;
+        }
+        if latch_vars.contains(&v) {
+            entangled.insert(v);
+            continue; // cones stop at state variables
+        }
+        if let Some((a, b)) = aig.and_fanins(v) {
+            stack.push(a.var());
+            stack.push(b.var());
+        }
+    }
+    entangled.len()
+}
+
+// ---------------------------------------------------------------------
+// Serial engine (one manager, all windows).
+// ---------------------------------------------------------------------
+
+fn serial_reach(
     aig: &Aig,
     window_vars: u32,
     node_quota: usize,
@@ -32,12 +137,22 @@ pub fn pobdd_reach(
             stats.bdd_nodes = stats.bdd_nodes.max(e.peak_live_nodes);
             stats.bdd_allocated += e.total_allocated;
             stats.bdd_quota_hits += 1;
+            stats.worker_bdd = vec![BddWorkerStats {
+                peak_live_nodes: e.peak_live_nodes,
+                allocated: e.total_allocated,
+                quota_hit: true,
+            }];
             return BddEngineOutcome::ResourceOut;
         }
     };
-    let outcome = run(&mut ts, window_vars, max_iterations, stats);
+    let outcome = serial_run(&mut ts, window_vars, max_iterations, stats);
     stats.bdd_nodes = stats.bdd_nodes.max(ts.mgr.peak_live_nodes());
     stats.bdd_allocated += ts.mgr.total_allocated();
+    stats.worker_bdd = vec![BddWorkerStats {
+        peak_live_nodes: ts.mgr.peak_live_nodes(),
+        allocated: ts.mgr.total_allocated(),
+        quota_hit: outcome.is_err(),
+    }];
     match outcome {
         Ok(o) => o,
         Err(_) => {
@@ -47,35 +162,15 @@ pub fn pobdd_reach(
     }
 }
 
-fn run(
+fn serial_run(
     ts: &mut TransitionSystem,
     window_vars: u32,
     max_iterations: usize,
     stats: &mut CheckStats,
 ) -> Result<BddEngineOutcome, OutOfNodes> {
     let split = choose_split_vars(ts, window_vars);
-    let k = split.len() as u32;
-    let nparts = 1usize << k;
-
-    // Window cubes: one per assignment of the split variables. The
-    // cubes, reached sets and frontiers below are all GC roots — only
-    // image intermediates and superseded per-partition sets are
-    // collectable under quota pressure.
-    let mut windows = Vec::with_capacity(nparts);
-    for w in 0..nparts {
-        let mut cube = NodeId::TRUE;
-        for (bit, var) in split.iter().enumerate() {
-            let lit = if w >> bit & 1 == 1 {
-                ts.mgr.var(*var)?
-            } else {
-                ts.mgr.nvar(*var)?
-            };
-            let c = ts.mgr.and(cube, lit)?;
-            ts.mgr.reroot(cube, c);
-            cube = c;
-        }
-        windows.push(cube);
-    }
+    let windows = build_windows(ts, &split)?;
+    let nparts = windows.len();
 
     // Per-partition reached sets and frontiers.
     let mut reached = vec![NodeId::FALSE; nparts];
@@ -92,9 +187,11 @@ fn run(
     }
 
     // Synchronous rounds: depth is global, so falsification depths agree
-    // with the monolithic engine.
+    // with the monolithic engine. `stats.iterations` counts *completed*
+    // rounds (a round that concludes the check counts as completed, a
+    // round aborted by the quota does not) — the same convention as
+    // `bdd_umc`, so Tables 2/3 agree between engines on every exit path.
     for depth in 1..=max_iterations {
-        stats.iterations = depth;
         let mut new_frontier = vec![NodeId::FALSE; nparts];
         let mut any_new = false;
         for &fr in &frontier {
@@ -114,6 +211,7 @@ fn run(
                     continue;
                 }
                 if ts.intersects_bad(fresh) {
+                    stats.iterations = depth; // the concluding round counts
                     return Ok(BddEngineOutcome::FalsifiedAtDepth(depth));
                 }
                 let r = ts.mgr.or(reached[l], fresh)?;
@@ -126,6 +224,7 @@ fn run(
             }
             ts.mgr.unprotect(img);
         }
+        stats.iterations = depth; // round completed
         if !any_new {
             return Ok(BddEngineOutcome::Proved);
         }
@@ -137,7 +236,39 @@ fn run(
     Ok(BddEngineOutcome::ResourceOut)
 }
 
+/// Builds one window cube per assignment of the split variables. The
+/// cubes are protected in the manager (they are held for the whole
+/// run); the caller owns those registrations.
+fn build_windows(ts: &mut TransitionSystem, split: &[u32]) -> Result<Vec<NodeId>, OutOfNodes> {
+    let nparts = 1usize << split.len();
+    let mut windows = Vec::with_capacity(nparts);
+    for w in 0..nparts {
+        let mut cube = NodeId::TRUE;
+        for (bit, var) in split.iter().enumerate() {
+            let lit = if w >> bit & 1 == 1 {
+                ts.mgr.var(*var)?
+            } else {
+                ts.mgr.nvar(*var)?
+            };
+            let c = ts.mgr.and(cube, lit)?;
+            // The reroot chain leaves exactly one registration on the
+            // finished cube (and none on the TRUE cube of an empty
+            // split, which as a terminal needs none).
+            ts.mgr.reroot(cube, c);
+            cube = c;
+        }
+        windows.push(cube);
+    }
+    Ok(windows)
+}
+
 /// Picks the current-state variables that occur in the most clusters.
+///
+/// Zero-occurrence variables are dropped even when that yields fewer
+/// than `want` split variables: a variable no cluster mentions cannot
+/// shrink any partition's reached set, and each padded variable would
+/// double the window count for nothing (regression-tested in
+/// `zero_occurrence_vars_are_not_split_on`).
 fn choose_split_vars(ts: &TransitionSystem, want: u32) -> Vec<u32> {
     let n = ts.num_latches() as u32;
     let mut counts: Vec<(u32, usize)> = (0..n).map(|i| (2 * i, 0)).collect();
@@ -151,9 +282,422 @@ fn choose_split_vars(ts: &TransitionSystem, want: u32) -> Vec<u32> {
     counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     counts
         .into_iter()
+        .filter(|(_, count)| *count > 0)
         .take(want.min(n) as usize)
         .map(|(v, _)| v)
         .collect()
+}
+
+// ---------------------------------------------------------------------
+// Threaded engine (one manager per worker, windows partitioned).
+// ---------------------------------------------------------------------
+
+/// A frontier piece crossing a worker boundary: image of window `src`
+/// restricted to window `dst`, serialized for the destination manager.
+type RemotePiece = (usize, usize, ExportedBdd); // (dst, src, piece)
+
+/// Coordinator → worker commands, one round at a time.
+enum ToWorker {
+    /// Compute this round's images for every owned window and ship the
+    /// remote-destined pieces up.
+    Round,
+    /// Absorb the routed pieces (pre-sorted by `(dst, src)`) into the
+    /// owned reached sets/frontiers and report the round status.
+    Absorb(Vec<RemotePiece>),
+    /// Tear down and report final manager accounting.
+    Stop,
+}
+
+/// Worker → coordinator phase reports. Every command is answered by
+/// exactly one report (even on quota failure), so the coordinator's
+/// barrier is a fixed receive count per phase.
+enum FromWorker {
+    Built { falsified0: bool, ok: bool },
+    Images { remote: Vec<RemotePiece>, ok: bool },
+    Absorbed { any_new: bool, falsified: bool, ok: bool },
+}
+
+fn parallel_reach(
+    aig: &Aig,
+    window_vars: u32,
+    workers: usize,
+    node_quota: usize,
+    max_iterations: usize,
+    stats: &mut CheckStats,
+) -> BddEngineOutcome {
+    let (up_tx, up_rx) = std::sync::mpsc::channel::<(usize, FromWorker)>();
+    let outcome = std::thread::scope(|s| {
+        let mut to_workers = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for wid in 0..workers {
+            let (down_tx, down_rx) = std::sync::mpsc::channel::<ToWorker>();
+            let up = up_tx.clone();
+            to_workers.push(down_tx);
+            handles.push(s.spawn(move || {
+                window_worker(aig, wid, workers, window_vars, node_quota, &down_rx, &up)
+            }));
+        }
+        // Only the workers hold senders now: if every worker died, the
+        // coordinator's recv errors out instead of blocking forever.
+        drop(up_tx);
+        let outcome = drive_rounds(&to_workers, &up_rx, workers, max_iterations, stats);
+        for tx in &to_workers {
+            let _ = tx.send(ToWorker::Stop);
+        }
+        let worker_stats: Vec<BddWorkerStats> = handles
+            .into_iter()
+            .map(|h| h.join().expect("pobdd worker panicked"))
+            .collect();
+        for ws in &worker_stats {
+            stats.bdd_nodes = stats.bdd_nodes.max(ws.peak_live_nodes);
+            stats.bdd_allocated += ws.allocated;
+            stats.bdd_quota_hits += ws.quota_hit as usize;
+        }
+        stats.worker_bdd = worker_stats;
+        outcome
+    });
+    outcome
+}
+
+/// The coordinator's round loop: broadcast a command, await one report
+/// per worker, reduce. Falsification takes precedence over quota
+/// failure in a mixed round — a found intersection with bad is sound
+/// regardless of what other workers ran out of.
+fn drive_rounds(
+    to_workers: &[Sender<ToWorker>],
+    up_rx: &Receiver<(usize, FromWorker)>,
+    workers: usize,
+    max_iterations: usize,
+    stats: &mut CheckStats,
+) -> BddEngineOutcome {
+    // Build barrier.
+    let mut ok = true;
+    let mut falsified = false;
+    for _ in 0..workers {
+        let (_, msg) = up_rx.recv().expect("pobdd worker hung up during build");
+        match msg {
+            FromWorker::Built { falsified0, ok: worker_ok } => {
+                ok &= worker_ok;
+                falsified |= falsified0;
+            }
+            _ => unreachable!("build phase answers with Built"),
+        }
+    }
+    if falsified {
+        return BddEngineOutcome::FalsifiedAtDepth(0);
+    }
+    if !ok {
+        return BddEngineOutcome::ResourceOut;
+    }
+
+    for depth in 1..=max_iterations {
+        // Phase A: images. Collect every worker's remote-destined pieces.
+        for tx in to_workers {
+            let _ = tx.send(ToWorker::Round);
+        }
+        let mut all_remote: Vec<Vec<RemotePiece>> = (0..workers).map(|_| Vec::new()).collect();
+        let mut ok = true;
+        for _ in 0..workers {
+            let (wid, msg) = up_rx.recv().expect("pobdd worker hung up during images");
+            match msg {
+                FromWorker::Images { remote, ok: worker_ok } => {
+                    ok &= worker_ok;
+                    all_remote[wid] = remote;
+                }
+                _ => unreachable!("image phase answers with Images"),
+            }
+        }
+        if !ok {
+            return BddEngineOutcome::ResourceOut;
+        }
+        // Route: destination window w is owned by worker w % workers.
+        // Sort each worker's inbox by (dst, src) so absorption order —
+        // and therefore node allocation — is schedule-independent.
+        let mut inbox: Vec<Vec<RemotePiece>> = (0..workers).map(|_| Vec::new()).collect();
+        for pieces in all_remote {
+            for piece in pieces {
+                inbox[piece.0 % workers].push(piece);
+            }
+        }
+        for (wid, mut pieces) in inbox.into_iter().enumerate() {
+            pieces.sort_unstable_by_key(|(dst, src, _)| (*dst, *src));
+            let _ = to_workers[wid].send(ToWorker::Absorb(pieces));
+        }
+        // Phase B: absorb reports.
+        let mut ok = true;
+        let mut falsified = false;
+        let mut any_new = false;
+        for _ in 0..workers {
+            let (_, msg) = up_rx.recv().expect("pobdd worker hung up during absorb");
+            match msg {
+                FromWorker::Absorbed { any_new: new, falsified: f, ok: worker_ok } => {
+                    any_new |= new;
+                    falsified |= f;
+                    ok &= worker_ok;
+                }
+                _ => unreachable!("absorb phase answers with Absorbed"),
+            }
+        }
+        if falsified {
+            stats.iterations = depth; // the concluding round counts
+            return BddEngineOutcome::FalsifiedAtDepth(depth);
+        }
+        if !ok {
+            return BddEngineOutcome::ResourceOut; // round d not completed
+        }
+        stats.iterations = depth; // round completed
+        if !any_new {
+            return BddEngineOutcome::Proved;
+        }
+    }
+    BddEngineOutcome::ResourceOut
+}
+
+/// Per-worker state for the threaded engine: a private transition
+/// system plus the reached/frontier slots of the owned windows.
+struct WindowWorker {
+    ts: TransitionSystem,
+    /// All window cubes (every worker can slice an image by any window).
+    windows: Vec<NodeId>,
+    /// Window indices this worker owns (`w % workers == wid`).
+    owned: Vec<usize>,
+    wid: usize,
+    workers: usize,
+    reached: Vec<NodeId>,
+    frontier: Vec<NodeId>,
+    /// Own-destined pieces of the current round, held between the image
+    /// and absorb phases (each protected).
+    local_pieces: Vec<(usize, usize, NodeId)>, // (dst, src, part)
+}
+
+fn window_worker(
+    aig: &Aig,
+    wid: usize,
+    workers: usize,
+    window_vars: u32,
+    node_quota: usize,
+    rx: &Receiver<ToWorker>,
+    tx: &Sender<(usize, FromWorker)>,
+) -> BddWorkerStats {
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    // Every phase is panic-guarded: a panicking worker would otherwise
+    // deadlock the coordinator's fixed-receive-count barrier (its reply
+    // never arrives, and the other workers' live senders keep `recv`
+    // from erroring out). On a panic the worker sends the error-flavored
+    // reply, keeps the protocol alive until `Stop`, and only then
+    // re-raises, so the bug surfaces through the coordinator's join
+    // instead of hanging the check.
+    let setup = catch_unwind(AssertUnwindSafe(|| {
+        let ts = TransitionSystem::build(aig, node_quota).map_err(|e| BddWorkerStats {
+            peak_live_nodes: e.peak_live_nodes,
+            allocated: e.total_allocated,
+            quota_hit: true,
+        })?;
+        worker_setup(ts, wid, workers, window_vars)
+    }));
+    let mut state = match setup {
+        Ok(Ok(state)) => state,
+        Ok(Err(stats)) => {
+            let _ = tx.send((wid, FromWorker::Built { falsified0: false, ok: false }));
+            drain_until_stop(wid, rx, tx);
+            return stats;
+        }
+        Err(payload) => {
+            let _ = tx.send((wid, FromWorker::Built { falsified0: false, ok: false }));
+            drain_until_stop(wid, rx, tx);
+            resume_unwind(payload);
+        }
+    };
+    let mut quota_hit = false;
+    let _ = tx.send((
+        wid,
+        FromWorker::Built { falsified0: state.init_intersects_bad(), ok: true },
+    ));
+    let mut panic_payload = None;
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            ToWorker::Round => {
+                match catch_unwind(AssertUnwindSafe(|| state.images())) {
+                    Ok(Ok(remote)) => {
+                        let _ = tx.send((wid, FromWorker::Images { remote, ok: true }));
+                        continue;
+                    }
+                    Ok(Err(_)) => quota_hit = true,
+                    Err(payload) => panic_payload = Some(payload),
+                }
+                let _ = tx.send((wid, FromWorker::Images { remote: Vec::new(), ok: false }));
+                drain_until_stop(wid, rx, tx);
+                break;
+            }
+            ToWorker::Absorb(pieces) => {
+                match catch_unwind(AssertUnwindSafe(|| state.absorb(pieces))) {
+                    Ok(Ok((any_new, falsified))) => {
+                        let _ =
+                            tx.send((wid, FromWorker::Absorbed { any_new, falsified, ok: true }));
+                        continue;
+                    }
+                    Ok(Err(_)) => quota_hit = true,
+                    Err(payload) => panic_payload = Some(payload),
+                }
+                let _ = tx.send((
+                    wid,
+                    FromWorker::Absorbed { any_new: false, falsified: false, ok: false },
+                ));
+                drain_until_stop(wid, rx, tx);
+                break;
+            }
+            ToWorker::Stop => break,
+        }
+    }
+    if let Some(payload) = panic_payload {
+        resume_unwind(payload);
+    }
+    BddWorkerStats {
+        peak_live_nodes: state.ts.mgr.peak_live_nodes(),
+        allocated: state.ts.mgr.total_allocated(),
+        quota_hit,
+    }
+}
+
+/// After a quota failure the worker keeps answering the protocol (every
+/// command gets its error-flavored report) until `Stop`, so the
+/// coordinator's fixed-count barriers never block on a dead worker.
+fn drain_until_stop(wid: usize, rx: &Receiver<ToWorker>, tx: &Sender<(usize, FromWorker)>) {
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            ToWorker::Round => {
+                let _ = tx.send((wid, FromWorker::Images { remote: Vec::new(), ok: false }));
+            }
+            ToWorker::Absorb(_) => {
+                let _ = tx.send((
+                    wid,
+                    FromWorker::Absorbed { any_new: false, falsified: false, ok: false },
+                ));
+            }
+            ToWorker::Stop => break,
+        }
+    }
+}
+
+/// Builds one worker's window/reached/frontier state. On quota failure
+/// the transition system is consumed and its final accounting returned
+/// so the worker can report honest per-worker stats.
+fn worker_setup(
+    mut ts: TransitionSystem,
+    wid: usize,
+    workers: usize,
+    window_vars: u32,
+) -> Result<WindowWorker, BddWorkerStats> {
+    let fail = |ts: &TransitionSystem| BddWorkerStats {
+        peak_live_nodes: ts.mgr.peak_live_nodes(),
+        allocated: ts.mgr.total_allocated(),
+        quota_hit: true,
+    };
+    // Every worker derives the identical split from its identically
+    // built transition system — no coordination needed.
+    let split = choose_split_vars(&ts, window_vars);
+    let windows = match build_windows(&mut ts, &split) {
+        Ok(w) => w,
+        Err(_) => return Err(fail(&ts)),
+    };
+    let nparts = windows.len();
+    let owned: Vec<usize> = (wid..nparts).step_by(workers).collect();
+    let mut reached = vec![NodeId::FALSE; nparts];
+    let mut frontier = vec![NodeId::FALSE; nparts];
+    for &w in &owned {
+        let part = match ts.mgr.and(ts.init, windows[w]) {
+            Ok(p) => p,
+            Err(_) => return Err(fail(&ts)),
+        };
+        ts.mgr.protect(part); // reached slot
+        ts.mgr.protect(part); // frontier slot
+        reached[w] = part;
+        frontier[w] = part;
+    }
+    Ok(WindowWorker {
+        ts,
+        windows,
+        owned,
+        wid,
+        workers,
+        reached,
+        frontier,
+        local_pieces: Vec::new(),
+    })
+}
+
+impl WindowWorker {
+    fn init_intersects_bad(&self) -> bool {
+        self.owned
+            .iter()
+            .any(|&w| self.frontier[w] != NodeId::FALSE && self.ts.intersects_bad(self.frontier[w]))
+    }
+
+    /// Phase A of a round: image every owned window's frontier and slice
+    /// it by all windows. Own-destined pieces stay local (protected);
+    /// pieces for other workers are exported immediately — before any
+    /// further allocation could trigger a collection — and shipped up.
+    fn images(&mut self) -> Result<Vec<RemotePiece>, OutOfNodes> {
+        let mut remote = Vec::new();
+        for &w in &self.owned {
+            let fr = self.frontier[w];
+            if fr == NodeId::FALSE {
+                continue;
+            }
+            let img = self.ts.image(fr)?;
+            self.ts.mgr.protect(img); // held across the whole window loop
+            for (dst, window) in self.windows.iter().enumerate() {
+                let part = self.ts.mgr.and(img, *window)?;
+                if part == NodeId::FALSE {
+                    continue;
+                }
+                if dst % self.workers == self.wid {
+                    self.ts.mgr.protect(part); // held until the absorb phase
+                    self.local_pieces.push((dst, w, part));
+                } else {
+                    remote.push((dst, w, transfer::export(&self.ts.mgr, part)));
+                }
+            }
+            self.ts.mgr.unprotect(img);
+        }
+        Ok(remote)
+    }
+
+    /// Phase B: merge the round's local and imported pieces — sorted by
+    /// `(dst, src)` so allocation order is schedule-independent — into
+    /// the owned reached sets, checking each fresh set against bad.
+    fn absorb(&mut self, remote: Vec<RemotePiece>) -> Result<(bool, bool), OutOfNodes> {
+        let mut items: Vec<(usize, usize, NodeId)> = std::mem::take(&mut self.local_pieces);
+        for (dst, src, exported) in &remote {
+            let part = transfer::import(exported, &mut self.ts.mgr)?; // arrives rooted
+            items.push((*dst, *src, part));
+        }
+        items.sort_unstable_by_key(|(dst, src, _)| (*dst, *src));
+        let mut new_frontier = vec![NodeId::FALSE; self.windows.len()];
+        let mut any_new = false;
+        for (dst, _src, part) in items {
+            let fresh = self.ts.mgr.and_not(part, self.reached[dst])?;
+            self.ts.mgr.unprotect(part); // release the piece's root
+            if fresh == NodeId::FALSE {
+                continue;
+            }
+            if self.ts.intersects_bad(fresh) {
+                return Ok((any_new, true));
+            }
+            let r = self.ts.mgr.or(self.reached[dst], fresh)?;
+            self.ts.mgr.reroot(self.reached[dst], r);
+            self.reached[dst] = r;
+            let nf = self.ts.mgr.or(new_frontier[dst], fresh)?;
+            self.ts.mgr.reroot(new_frontier[dst], nf);
+            new_frontier[dst] = nf;
+            any_new = true;
+        }
+        for &w in &self.owned {
+            self.ts.mgr.unprotect(self.frontier[w]);
+            self.frontier[w] = new_frontier[w];
+        }
+        Ok((any_new, false))
+    }
 }
 
 #[cfg(test)]
@@ -188,19 +732,53 @@ mod tests {
             let mut s1 = CheckStats::default();
             let mut s2 = CheckStats::default();
             let mono = bdd_umc(&g, 1 << 20, 1000, &mut s1);
-            let part = pobdd_reach(&g, 2, 1 << 20, 1000, &mut s2);
+            let part = pobdd_reach(&g, 2, 1, 1 << 20, 1000, &mut s2);
             assert_eq!(mono, part, "bad_at={bad_at}");
+            assert_eq!(s1.iterations, s2.iterations, "bad_at={bad_at}");
         }
     }
 
     #[test]
+    fn threaded_pobdd_matches_serial_verdicts() {
+        for bad_at in [0u64, 5, 9, 14] {
+            let g = counter_with_bad(4, bad_at);
+            let mut serial = CheckStats::default();
+            let base = pobdd_reach(&g, 2, 1, 1 << 20, 1000, &mut serial);
+            for workers in [2usize, 3, 4, 0] {
+                let mut stats = CheckStats::default();
+                let got = pobdd_reach(&g, 2, workers, 1 << 20, 1000, &mut stats);
+                assert_eq!(base, got, "bad_at={bad_at} workers={workers}");
+                assert_eq!(
+                    serial.iterations, stats.iterations,
+                    "iteration counts must agree at bad_at={bad_at} workers={workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_pobdd_records_per_worker_stats() {
+        let g = counter_with_bad(4, 9);
+        let mut stats = CheckStats::default();
+        let outcome = pobdd_reach(&g, 2, 2, 1 << 20, 1000, &mut stats);
+        assert_eq!(outcome, BddEngineOutcome::FalsifiedAtDepth(9));
+        assert_eq!(stats.worker_bdd.len(), 2, "one entry per worker");
+        for (i, ws) in stats.worker_bdd.iter().enumerate() {
+            assert!(ws.peak_live_nodes > 0, "worker {i} must report a peak");
+            assert!(ws.allocated > 0, "worker {i} must report allocations");
+            assert!(!ws.quota_hit);
+            assert!(stats.bdd_nodes >= ws.peak_live_nodes);
+        }
+        assert_eq!(
+            stats.bdd_allocated,
+            stats.worker_bdd.iter().map(|w| w.allocated).sum::<u64>()
+        );
+    }
+
+    #[test]
     fn pobdd_proves_unreachable() {
-        let mut g = counter_with_bad(4, 3);
-        // Replace bad with an unreachable one: stuck latch.
-        let (l, s) = g.latch("stuck", false);
-        g.set_next(l, s);
         let mut g2 = Aig::new();
-        // Rebuild cleanly: counter + stuck latch bad.
+        // Counter + stuck latch bad.
         let qs: Vec<_> = (0..4).map(|i| g2.latch(format!("c{i}"), false)).collect();
         let mut carry = Lit::TRUE;
         for (id, q) in &qs {
@@ -211,12 +789,14 @@ mod tests {
         let (l2, s2) = g2.latch("stuck", false);
         g2.set_next(l2, s2);
         g2.add_bad("never", s2);
-        let _ = (g, l, s);
-        let mut stats = CheckStats::default();
-        assert_eq!(
-            pobdd_reach(&g2, 2, 1 << 20, 1000, &mut stats),
-            BddEngineOutcome::Proved
-        );
+        for workers in [1usize, 2] {
+            let mut stats = CheckStats::default();
+            assert_eq!(
+                pobdd_reach(&g2, 2, workers, 1 << 20, 1000, &mut stats),
+                BddEngineOutcome::Proved,
+                "workers={workers}"
+            );
+        }
     }
 
     /// Regression: `pobdd_reach` returned early on a quota-exhausted
@@ -226,14 +806,18 @@ mod tests {
     #[test]
     fn quota_exhausted_build_records_stats() {
         let g = counter_with_bad(16, (1 << 16) - 1);
-        let mut stats = CheckStats::default();
-        assert_eq!(
-            pobdd_reach(&g, 2, 300, 1 << 20, &mut stats),
-            BddEngineOutcome::ResourceOut
-        );
-        assert!(stats.bdd_nodes > 0, "failure path must record peak live nodes");
-        assert!(stats.bdd_allocated > 0);
-        assert_eq!(stats.bdd_quota_hits, 1);
+        for workers in [1usize, 2] {
+            let mut stats = CheckStats::default();
+            assert_eq!(
+                pobdd_reach(&g, 2, workers, 300, 1 << 20, &mut stats),
+                BddEngineOutcome::ResourceOut,
+                "workers={workers}"
+            );
+            assert!(stats.bdd_nodes > 0, "failure path must record peak live nodes");
+            assert!(stats.bdd_allocated > 0);
+            assert!(stats.bdd_quota_hits >= 1);
+            assert!(stats.worker_bdd.iter().any(|w| w.quota_hit));
+        }
     }
 
     #[test]
@@ -242,8 +826,91 @@ mod tests {
         let mut stats = CheckStats::default();
         // 6 window vars requested, only 2 latches exist.
         assert_eq!(
-            pobdd_reach(&g, 6, 1 << 20, 1000, &mut stats),
+            pobdd_reach(&g, 6, 1, 1 << 20, 1000, &mut stats),
             BddEngineOutcome::FalsifiedAtDepth(3)
         );
+    }
+
+    /// Regression: `choose_split_vars` used to pad the split with
+    /// variables that occur in zero clusters whenever `window_vars`
+    /// exceeded the number of entangled variables — each useless split
+    /// variable doubled the window count (and now the thread fan-out)
+    /// with zero reached-set-size benefit.
+    #[test]
+    fn zero_occurrence_vars_are_not_split_on() {
+        // Latch a loads an input (its current var occurs in no cluster);
+        // latch b toggles against another input. Only b's current var is
+        // entangled, so a 2-var split request must clamp to 1 variable
+        // (2 windows, not 4).
+        let mut g = Aig::new();
+        let i1 = g.input("i1");
+        let i2 = g.input("i2");
+        let (la, _qa) = g.latch("a", false);
+        g.set_next(la, i1);
+        let (lb, qb) = g.latch("b", false);
+        let nb = g.xor(qb, i2);
+        g.set_next(lb, nb);
+        g.add_bad("b_high", qb);
+        let ts = TransitionSystem::build(&g, 1 << 16).unwrap();
+        let split = choose_split_vars(&ts, 2);
+        assert_eq!(split, vec![2], "only latch b's current var is entangled");
+        // And the engine still concludes correctly with the clamp.
+        let mut stats = CheckStats::default();
+        assert_eq!(
+            pobdd_reach(&g, 2, 1, 1 << 20, 100, &mut stats),
+            BddEngineOutcome::FalsifiedAtDepth(1)
+        );
+    }
+
+    /// Maximal-period 16-bit Fibonacci LFSR (taps 16,14,13,11), seeded
+    /// with a single one bit. Its reached set after d rounds is d
+    /// pseudo-random states whose BDD grows with d, so the **live**
+    /// working set genuinely outgrows a tight quota mid-run — unlike a
+    /// counter, whose reached set stays small and sails through under
+    /// garbage collection.
+    fn lfsr16() -> Aig {
+        let mut g = Aig::new();
+        let qs: Vec<_> = (0..16).map(|i| g.latch(format!("s{i}"), i == 0)).collect();
+        let fb = [16usize, 14, 13, 11]
+            .iter()
+            .map(|t| qs[*t - 1].1)
+            .reduce(|a, b| g.xor(a, b))
+            .unwrap();
+        for i in (1..16).rev() {
+            g.set_next(qs[i].0, qs[i - 1].1);
+        }
+        g.set_next(qs[0].0, fb);
+        // Bad: the all-zero state, unreachable from a nonzero seed.
+        let nz: Vec<_> = qs.iter().map(|(_, q)| !*q).collect();
+        let bad = g.and_many(nz);
+        g.add_bad("zero", bad);
+        g
+    }
+
+    /// Regression for the cross-engine iteration-count off-by-one:
+    /// `bdd_umc` used to set `stats.iterations` only after a round's
+    /// image succeeded while `pobdd_reach` set it at the round's
+    /// *start*, so a quota failure during the image at depth d reported
+    /// d-1 from one engine and d from the other in Tables 2/3. With
+    /// zero split variables the partitioned engine degenerates to the
+    /// monolithic algorithm (one TRUE window, identical op sequence),
+    /// so both engines fail at the same point and must report the same
+    /// completed-round count.
+    #[test]
+    fn iteration_counts_agree_between_engines_on_quota_failure() {
+        let g = lfsr16();
+        for quota in [1500usize, 2000] {
+            let mut s1 = CheckStats::default();
+            let mut s2 = CheckStats::default();
+            let mono = bdd_umc(&g, quota, 1 << 20, &mut s1);
+            let part = pobdd_reach(&g, 0, 1, quota, 1 << 20, &mut s2);
+            assert_eq!(mono, BddEngineOutcome::ResourceOut, "quota={quota}");
+            assert_eq!(part, BddEngineOutcome::ResourceOut, "quota={quota}");
+            assert!(s1.iterations > 0, "failure must be mid-run, not at build");
+            assert_eq!(
+                s1.iterations, s2.iterations,
+                "engines must count completed rounds identically at quota={quota}"
+            );
+        }
     }
 }

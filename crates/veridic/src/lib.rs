@@ -73,7 +73,7 @@ pub mod prelude {
     };
     pub use veridic_core::partition::{
         cut_at, decomposition_is_acyclic, demo_chain_module, partition_output_integrity,
-        run_partition,
+        run_partition, run_partition_with_workers, PartitionWorkerStats,
     };
     pub use veridic_core::stereotype::{
         edetect_vunit, generate_all, integrity_vunit, other_vunit, soundness_vunit,
@@ -81,7 +81,10 @@ pub mod prelude {
     pub use veridic_core::verifiable::{
         make_verifiable, transform_design, VerifiableModule, EC_PORT, ED_PORT,
     };
-    pub use veridic_mc::{check, check_one, CheckOptions, CheckResult, CheckStats, Verdict};
+    pub use veridic_mc::{
+        check, check_one, pobdd_reach, BadCoiStats, BddWorkerStats, CheckOptions, CheckResult,
+        CheckStats, Verdict,
+    };
     pub use veridic_netlist::{Design, Expr, Module, NetId, PortDir, Value};
     pub use veridic_psl::{compile_vunit, parse_psl};
     pub use veridic_sim::{detection_latency, Simulator, Stimulus, UniformRandom, VcdWriter};

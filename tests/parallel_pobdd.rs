@@ -1,0 +1,181 @@
+//! Property-based determinism tests for the intra-property parallel
+//! machinery: the threaded POBDD engine must be bit-for-bit equivalent
+//! to the serial one for any worker count, and the cross-manager BDD
+//! transfer layer must preserve both structure (node count) and
+//! semantics (truth table) in a roundtrip.
+
+use proptest::prelude::*;
+use veridic::bdd::transfer;
+use veridic::bdd::{BddManager, NodeId};
+use veridic::mc::BddEngineOutcome;
+use veridic::prelude::*;
+
+/// A random small sequential design with one bad.
+#[derive(Clone, Debug)]
+enum Design {
+    /// `bits`-bit ripple counter; bad fires when the count equals
+    /// `bad_at` (always reachable: counters wrap).
+    Counter { bits: u32, bad_at: u64 },
+    /// Shift register with xor feedback from `taps` (an LFSR when the
+    /// taps are primitive); bad is the state matching `bad_mask` — some
+    /// masks are off-orbit, so this generates proofs too.
+    ShiftXor { bits: u32, taps: u64, bad_mask: u64 },
+    /// Counter plus a stuck-at-false latch as the bad: always proved.
+    Stuck { bits: u32 },
+}
+
+fn build_counter(g: &mut Aig, bits: u32) -> Vec<veridic::aig::Lit> {
+    let qs: Vec<_> = (0..bits).map(|i| g.latch(format!("c{i}"), false)).collect();
+    let mut carry = veridic::aig::Lit::TRUE;
+    for (id, q) in &qs {
+        let next = g.xor(*q, carry);
+        carry = g.and(*q, carry);
+        g.set_next(*id, next);
+    }
+    qs.into_iter().map(|(_, q)| q).collect()
+}
+
+fn state_match(g: &mut Aig, qs: &[veridic::aig::Lit], mask: u64) -> veridic::aig::Lit {
+    let hit: Vec<_> = qs
+        .iter()
+        .enumerate()
+        .map(|(i, q)| if mask >> i & 1 == 1 { *q } else { !*q })
+        .collect();
+    g.and_many(hit)
+}
+
+fn build(design: &Design) -> Aig {
+    let mut g = Aig::new();
+    match design {
+        Design::Counter { bits, bad_at } => {
+            let qs = build_counter(&mut g, *bits);
+            let bad = state_match(&mut g, &qs, bad_at & ((1 << bits) - 1));
+            g.add_bad("count_hit", bad);
+        }
+        Design::ShiftXor { bits, taps, bad_mask } => {
+            let bits = *bits as usize;
+            let qs: Vec<_> = (0..bits).map(|i| g.latch(format!("s{i}"), i == 0)).collect();
+            // Feedback: xor of the tapped stages (always include the
+            // last stage so every latch matters).
+            let mut fb = qs[bits - 1].1;
+            for (i, (_, q)) in qs.iter().enumerate().take(bits - 1) {
+                if taps >> i & 1 == 1 {
+                    fb = g.xor(fb, *q);
+                }
+            }
+            for i in (1..bits).rev() {
+                g.set_next(qs[i].0, qs[i - 1].1);
+            }
+            g.set_next(qs[0].0, fb);
+            let lits: Vec<_> = qs.iter().map(|(_, q)| *q).collect();
+            let bad = state_match(&mut g, &lits, bad_mask & ((1 << bits) - 1));
+            g.add_bad("state_hit", bad);
+        }
+        Design::Stuck { bits } => {
+            let _ = build_counter(&mut g, *bits);
+            let (l, s) = g.latch("stuck", false);
+            g.set_next(l, s);
+            g.add_bad("never", s);
+        }
+    }
+    g
+}
+
+fn design_strategy() -> impl Strategy<Value = Design> {
+    prop_oneof![
+        (2u32..5, 0u64..32).prop_map(|(bits, bad_at)| Design::Counter { bits, bad_at }),
+        (3u32..6, 0u64..32, 0u64..64)
+            .prop_map(|(bits, taps, bad_mask)| Design::ShiftXor { bits, taps, bad_mask }),
+        (2u32..5, 0u64..1).prop_map(|(bits, _)| Design::Stuck { bits }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole determinism contract: for any small design, window
+    /// split and worker count — serial (1), threaded (2, 3) and auto
+    /// (0) — the POBDD engine reports the identical outcome,
+    /// falsification depth and completed-round count.
+    #[test]
+    fn parallel_pobdd_matches_serial(
+        design in design_strategy(),
+        window_vars in 1u32..4,
+    ) {
+        let aig = build(&design);
+        let mut serial = CheckStats::default();
+        let base = pobdd_reach(&aig, window_vars, 1, 1 << 20, 200, &mut serial);
+        prop_assert!(
+            !matches!(base, BddEngineOutcome::ResourceOut),
+            "generated designs must conclude under the generous budget: {design:?}"
+        );
+        for workers in [2usize, 3, 0] {
+            let mut stats = CheckStats::default();
+            let got = pobdd_reach(&aig, window_vars, workers, 1 << 20, 200, &mut stats);
+            prop_assert_eq!(
+                &base, &got,
+                "outcome diverged at workers={} for {:?}", workers, &design
+            );
+            prop_assert_eq!(
+                serial.iterations, stats.iterations,
+                "iteration count diverged at workers={} for {:?}", workers, &design
+            );
+            prop_assert!(!stats.worker_bdd.is_empty(), "per-worker stats must be recorded");
+        }
+    }
+
+    /// Transfer-layer roundtrip: export/import preserves the node count
+    /// and the full truth table for arbitrary functions (built from a
+    /// random truth table, so every shape of sharing and complement
+    /// placement shows up), both into a fresh manager and into one that
+    /// already holds unrelated nodes.
+    #[test]
+    fn transfer_roundtrip_preserves_count_and_truth_table(
+        nvars in 2u32..6,
+        table in 0u64..u64::MAX,
+        complement_root in 0u32..2,
+    ) {
+        let rows = 1u64 << nvars;
+        let table = table & ((1u128 << rows) as u64).wrapping_sub(1);
+        let mut src = BddManager::new(1 << 16);
+        // Build the function as an OR of minterms.
+        let mut f = NodeId::FALSE;
+        for row in 0..rows {
+            if table >> row & 1 == 1 {
+                let mut term = NodeId::TRUE;
+                for v in 0..nvars {
+                    let lit = if row >> v & 1 == 1 {
+                        src.var(v).unwrap()
+                    } else {
+                        src.nvar(v).unwrap()
+                    };
+                    term = src.and(term, lit).unwrap();
+                }
+                f = src.or(f, term).unwrap();
+            }
+        }
+        let f = if complement_root == 1 { !f } else { f };
+        let exported = transfer::export(&src, f);
+        prop_assert_eq!(exported.node_count(), src.size(f), "export must cover exactly the cone");
+
+        // Fresh destination manager.
+        let mut fresh = BddManager::new(1 << 16);
+        let g = transfer::import(&exported, &mut fresh).unwrap();
+        prop_assert_eq!(fresh.size(g), src.size(f), "node count must survive the roundtrip");
+
+        // Populated destination manager (unrelated junk + armed GC).
+        let mut busy = BddManager::new(1 << 16);
+        let a = busy.var(0).unwrap();
+        let b = busy.var(nvars - 1).unwrap();
+        let junk = busy.xor(a, b).unwrap();
+        busy.protect(junk);
+        let h = transfer::import(&exported, &mut busy).unwrap();
+        prop_assert_eq!(busy.size(h), src.size(f));
+
+        for asg in 0..rows {
+            let want = src.eval(f, &|v| asg >> v & 1 == 1);
+            prop_assert_eq!(fresh.eval(g, &|v| asg >> v & 1 == 1), want, "fresh, row {}", asg);
+            prop_assert_eq!(busy.eval(h, &|v| asg >> v & 1 == 1), want, "busy, row {}", asg);
+        }
+    }
+}
