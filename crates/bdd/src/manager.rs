@@ -431,15 +431,39 @@ impl BddManager {
     /// With complement edges there is exactly one terminal node, and
     /// every function — constants included — reaches it, so
     /// `size(TRUE) == 1` and `size(var) == 2`.
+    ///
+    /// Exactly [`BddManager::size_restricted`] with nothing fixed.
     pub fn size(&self, f: NodeId) -> usize {
+        self.size_restricted(f, &|_| None)
+    }
+
+    /// Counts the nodes of `f` still reachable when some variables are
+    /// fixed (`fixed(var)` = `Some(value)`): at a fixed variable's node
+    /// only the chosen branch is followed, everywhere else both. Pure
+    /// traversal — nothing is allocated, so unlike building the actual
+    /// cofactor this can neither fail nor eat the quota.
+    ///
+    /// The count is an upper bound on [`BddManager::size`] of the
+    /// generalized cofactor (restriction can merge nodes this walk still
+    /// counts separately), which makes it a cheap, deterministic proxy
+    /// for "how much of `f` survives inside this window" — the threaded
+    /// POBDD engine uses it to estimate per-window load for its
+    /// longest-processing-time worker assignment.
+    pub fn size_restricted(&self, f: NodeId, fixed: &dyn Fn(u32) -> Option<bool>) -> usize {
         let mut seen: FxHashSet<u32> = FxHashSet::default();
         let mut stack = vec![f];
         while let Some(n) = stack.pop() {
             if n.is_terminal() || !seen.insert(n.index()) {
                 continue;
             }
-            stack.push(self.lo(n));
-            stack.push(self.hi(n));
+            match fixed(self.var_of(n)) {
+                Some(true) => stack.push(self.hi(n)),
+                Some(false) => stack.push(self.lo(n)),
+                None => {
+                    stack.push(self.lo(n));
+                    stack.push(self.hi(n));
+                }
+            }
         }
         seen.len() + 1
     }

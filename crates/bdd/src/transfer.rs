@@ -50,7 +50,7 @@ impl SlotRef {
 
 /// One exported node: variable level plus its two child references
 /// (`hi` is always regular, mirroring the manager's canonical form).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct ExportedNode {
     var: u32,
     lo: SlotRef,
@@ -62,8 +62,11 @@ struct ExportedNode {
 ///
 /// Owns plain data only (no manager references), so it can cross thread
 /// boundaries — this is what the threaded POBDD engine ships between
-/// its per-window worker managers.
-#[derive(Clone, Debug)]
+/// its per-window worker managers, and what the portfolio scheduler's
+/// reachability checkpoints are made of. Equality is structural (same
+/// node list, same root), which two exports of the same function from
+/// identically-evolved managers satisfy.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ExportedBdd {
     /// Level-ordered (deepest variable first): children precede parents.
     nodes: Vec<ExportedNode>,

@@ -16,27 +16,28 @@ fn engines(c: &mut Criterion) {
         .unwrap();
     let aig = aig_of(soundness);
 
+    let portfolio = Portfolio::default();
     let mut group = c.benchmark_group("engines/soundness_property");
     group.sample_size(10);
     group.bench_function("sat_portfolio", |b| {
-        let opts = CheckOptions { sat_only: true, ..CheckOptions::default() };
+        let opts = CheckOptions::builder().sat_only(true).build();
         b.iter(|| {
             let mut stats = CheckStats::default();
-            assert!(check_one(&aig, 0, &opts, &mut stats).is_proved());
+            assert!(portfolio.check_bad(&aig, 0, &opts, &mut stats).is_proved());
         })
     });
     group.bench_function("bdd_umc", |b| {
-        let opts = CheckOptions { bdd_only: true, pobdd_window_vars: 0, ..CheckOptions::default() };
+        let opts = CheckOptions::builder().bdd_only(true).pobdd_window_vars(0).build();
         b.iter(|| {
             let mut stats = CheckStats::default();
-            assert!(check_one(&aig, 0, &opts, &mut stats).is_proved());
+            assert!(portfolio.check_bad(&aig, 0, &opts, &mut stats).is_proved());
         })
     });
     group.bench_function("full_portfolio", |b| {
         let opts = CheckOptions::default();
         b.iter(|| {
             let mut stats = CheckStats::default();
-            assert!(check_one(&aig, 0, &opts, &mut stats).is_proved());
+            assert!(portfolio.check_bad(&aig, 0, &opts, &mut stats).is_proved());
         })
     });
     group.finish();
@@ -46,15 +47,14 @@ fn engines(c: &mut Criterion) {
     group.sample_size(10);
     for windows in [0u32, 1, 2, 3] {
         group.bench_function(format!("w{windows}"), |b| {
-            let opts = CheckOptions {
-                bdd_only: true,
-                pobdd_window_vars: windows,
-                bdd_nodes: 1 << 20,
-                ..CheckOptions::default()
-            };
+            let opts = CheckOptions::builder()
+                .bdd_only(true)
+                .pobdd_window_vars(windows)
+                .bdd_nodes(1 << 20)
+                .build();
             b.iter(|| {
                 let mut stats = CheckStats::default();
-                let v = check_one(&aig, 0, &opts, &mut stats);
+                let v = portfolio.check_bad(&aig, 0, &opts, &mut stats);
                 assert!(v.is_proved());
             })
         });

@@ -47,16 +47,15 @@ fn partition(c: &mut Criterion) {
             part_gen_peak.set(peak.unwrap_or(0));
         })
     });
-    let tight = CheckOptions {
-        bdd_nodes: 9_000,
-        sat_conflicts: 600,
-        bmc_depth: 3,
-        induction_depth: 3,
-        simple_path: false,
-        max_iterations: 200,
-        pobdd_window_vars: 0,
-        ..CheckOptions::default()
-    };
+    let tight = CheckOptions::builder()
+        .bdd_nodes(9_000)
+        .sat_conflicts(600)
+        .bmc_depth(3)
+        .induction_depth(3)
+        .simple_path(false)
+        .max_iterations(200)
+        .pobdd_window_vars(0)
+        .build();
     group.bench_function("partitioned_tight", |b| {
         b.iter(|| {
             let run = run_partition(&steps, &tight);

@@ -18,16 +18,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let module = demo_chain_module(stages);
     let vm = make_verifiable(&module)?;
-    let tight = CheckOptions {
-        bdd_nodes: 9_000,
-        sat_conflicts: 600,
-        bmc_depth: 3,
-        induction_depth: 3,
-        simple_path: false,
-        max_iterations: 200,
-        pobdd_window_vars: 0,
-        ..CheckOptions::default()
-    };
+    let tight = CheckOptions::builder()
+        .bdd_nodes(9_000)
+        .sat_conflicts(600)
+        .bmc_depth(3)
+        .induction_depth(3)
+        .simple_path(false)
+        .max_iterations(200)
+        .pobdd_window_vars(0)
+        .build();
 
     println!("Figure 7: partitioning a property for Divide-and-Conquer");
     println!("chain of {stages} parity-propagating stages ({} state bits)\n", vm.module.state_bits());
@@ -43,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mono = check(&aig, &tight);
     let mono_time = t0.elapsed();
     println!("(1) monolithic check : {:?} in {:?}", short(&mono.verdict), mono_time);
-    for e in &mono.stats.engines_tried {
+    for e in mono.stats.engines_tried() {
         println!("      {e}");
     }
     println!(

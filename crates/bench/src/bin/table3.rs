@@ -17,6 +17,7 @@ fn main() {
         "{:<6} {:<30} {:<10} {:>16} {:<6}",
         "Defect", "Type of Property (formal)", "Formal?", "Sim latency", "Easy?"
     );
+    let portfolio = Portfolio::default();
     for (module_name, bug) in chip.bugs() {
         let module = chip.design().module(&module_name).unwrap();
         // Formal verdict on the bug's property type.
@@ -29,7 +30,10 @@ fn main() {
             let aig = veridic_bench::aig_of(&compiled);
             for idx in 0..compiled.asserts.len() {
                 let mut stats = CheckStats::default();
-                if check_one(&aig, idx, &CheckOptions::default(), &mut stats).is_falsified() {
+                if portfolio
+                    .check_bad(&aig, idx, &CheckOptions::default(), &mut stats)
+                    .is_falsified()
+                {
                     formal_found = true;
                 }
             }

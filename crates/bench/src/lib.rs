@@ -46,12 +46,13 @@ pub fn aig_of(compiled: &veridic::psl::CompiledVUnit) -> Aig {
 /// compile.
 pub fn check_module(module: &Module, opts: &CheckOptions) -> (usize, usize, usize) {
     let vm = make_verifiable(module).expect("transformable");
+    let portfolio = Portfolio::default();
     let (mut p, mut f, mut r) = (0, 0, 0);
     for (_g, compiled) in generate_all(&vm).expect("vunits generate") {
         let aig = aig_of(&compiled);
         for idx in 0..compiled.asserts.len() {
             let mut stats = CheckStats::default();
-            match check_one(&aig, idx, opts, &mut stats) {
+            match portfolio.check_bad(&aig, idx, opts, &mut stats) {
                 Verdict::Proved { .. } => p += 1,
                 Verdict::Falsified(_) => f += 1,
                 Verdict::ResourceOut { .. } => r += 1,

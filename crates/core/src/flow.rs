@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 use veridic_chipgen::{Category, Chip, PropertyType};
-use veridic_mc::{check_one, CheckOptions, CheckStats, Verdict};
+use veridic_mc::{CheckOptions, CheckStats, Portfolio, Verdict};
 use veridic_psl::CompiledVUnit;
 
 /// Campaign configuration.
@@ -113,7 +113,14 @@ pub fn prepare_module(
 type ModuleOutput = (Vec<PropertyRecord>, Vec<(String, String)>);
 
 /// Prepares and checks every stereotype property of one leaf module.
-fn run_module(chip: &Chip, mi: &veridic_chipgen::ModuleInfo, check: &CheckOptions) -> ModuleOutput {
+/// The portfolio is shared by reference across campaign workers — it
+/// owns no per-run state, only the engine policy.
+fn run_module(
+    chip: &Chip,
+    mi: &veridic_chipgen::ModuleInfo,
+    portfolio: &Portfolio,
+    check: &CheckOptions,
+) -> ModuleOutput {
     let mut records = Vec::new();
     let mut errors = Vec::new();
     let m = chip
@@ -145,7 +152,7 @@ fn run_module(chip: &Chip, mi: &veridic_chipgen::ModuleInfo, check: &CheckOption
         for (idx, (label, _)) in compiled.asserts.iter().enumerate() {
             let t0 = Instant::now();
             let mut stats = CheckStats::default();
-            let verdict = check_one(&aig, idx, check, &mut stats);
+            let verdict = portfolio.check_bad(&aig, idx, check, &mut stats);
             records.push(PropertyRecord {
                 module: mi.name().to_string(),
                 category: mi.plan().category,
@@ -174,13 +181,26 @@ fn run_module(chip: &Chip, mi: &veridic_chipgen::ModuleInfo, check: &CheckOption
 /// report is identical to a serial run regardless of worker count or
 /// completion order.
 pub fn run_campaign(chip: &Chip, cfg: &CampaignConfig) -> CampaignReport {
+    run_campaign_with_portfolio(chip, cfg, &Portfolio::default())
+}
+
+/// [`run_campaign`] with an explicit engine [`Portfolio`]: every
+/// property check is scheduled by `portfolio` instead of the default
+/// cascade, so a campaign can run a custom engine mix (BDD-only
+/// portfolios, per-engine round caps, user-implemented engines). The
+/// portfolio is shared by reference across the campaign workers.
+pub fn run_campaign_with_portfolio(
+    chip: &Chip,
+    cfg: &CampaignConfig,
+    portfolio: &Portfolio,
+) -> CampaignReport {
     let start = Instant::now();
     let mut report = CampaignReport::default();
 
     let modules = chip.modules();
     let workers = cfg.effective_workers().min(modules.len().max(1));
     let outputs: Vec<ModuleOutput> = if workers <= 1 {
-        modules.iter().map(|mi| run_module(chip, mi, &cfg.check)).collect()
+        modules.iter().map(|mi| run_module(chip, mi, portfolio, &cfg.check)).collect()
     } else {
         let next = std::sync::atomic::AtomicUsize::new(0);
         let mut slots: Vec<Option<ModuleOutput>> = vec![None; modules.len()];
@@ -192,7 +212,7 @@ pub fn run_campaign(chip: &Chip, cfg: &CampaignConfig) -> CampaignReport {
                         loop {
                             let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             let Some(mi) = modules.get(i) else { break };
-                            out.push((i, run_module(chip, mi, &cfg.check)));
+                            out.push((i, run_module(chip, mi, portfolio, &cfg.check)));
                         }
                         out
                     })

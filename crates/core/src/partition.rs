@@ -17,9 +17,9 @@ use crate::checkpoint::Inventory;
 use crate::verifiable::{VerifiableModule, EC_PORT};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
-use veridic_mc::{check, CheckOptions, CheckResult};
+use veridic_mc::{CheckOptions, CheckResult, Portfolio};
 #[cfg(test)]
-use veridic_mc::Verdict;
+use veridic_mc::{check, Verdict};
 use veridic_netlist::{Expr, ExprId, Module, NetId, PortDir};
 use veridic_psl::{compile_vunit, parse_psl};
 
@@ -248,8 +248,8 @@ pub struct PartitionRun {
     pub worker_stats: Vec<PartitionWorkerStats>,
 }
 
-/// Compiles and checks one partition step.
-fn run_step(step: &PartitionStep, opts: &CheckOptions) -> (String, CheckResult) {
+/// Compiles and checks one partition step under the shared portfolio.
+fn run_step(step: &PartitionStep, portfolio: &Portfolio, opts: &CheckOptions) -> (String, CheckResult) {
     let units = parse_psl(&step.vunit_src).expect("step vunit parses");
     let compiled = compile_vunit(&units[0], &step.module).expect("step vunit compiles");
     let lowered = compiled.module.to_aig().expect("cut module lowers");
@@ -260,7 +260,7 @@ fn run_step(step: &PartitionStep, opts: &CheckOptions) -> (String, CheckResult) 
     for (label, net) in &compiled.assumes {
         aig.add_constraint(label.clone(), !lowered.bit(*net, 0));
     }
-    (step.name.clone(), check(&aig, opts))
+    (step.name.clone(), portfolio.check(&aig, opts))
 }
 
 /// Checks every step of a partition under the given budgets, serially
@@ -296,6 +296,21 @@ pub fn run_partition_with_workers(
     opts: &CheckOptions,
     workers: usize,
 ) -> PartitionRun {
+    // One engine policy for the whole partition, shared by reference
+    // across the corn workers (a `Portfolio` owns no per-run state).
+    run_partition_with_portfolio(steps, opts, workers, &Portfolio::default())
+}
+
+/// [`run_partition_with_workers`] under an explicit engine
+/// [`Portfolio`]: every corn check is scheduled by `portfolio` instead
+/// of the default cascade — the partition-layer analogue of
+/// `run_campaign_with_portfolio`.
+pub fn run_partition_with_portfolio(
+    steps: &[PartitionStep],
+    opts: &CheckOptions,
+    workers: usize,
+    portfolio: &Portfolio,
+) -> PartitionRun {
     let workers = if workers == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
@@ -303,7 +318,7 @@ pub fn run_partition_with_workers(
     }
     .min(steps.len().max(1));
     let per_worker: Vec<Vec<(usize, (String, CheckResult))>> = if workers <= 1 {
-        vec![steps.iter().enumerate().map(|(i, s)| (i, run_step(s, opts))).collect()]
+        vec![steps.iter().enumerate().map(|(i, s)| (i, run_step(s, portfolio, opts))).collect()]
     } else {
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
@@ -314,7 +329,7 @@ pub fn run_partition_with_workers(
                             .enumerate()
                             .skip(wid)
                             .step_by(workers)
-                            .map(|(i, step)| (i, run_step(step, opts)))
+                            .map(|(i, step)| (i, run_step(step, portfolio, opts)))
                             .collect::<Vec<_>>()
                     })
                 })

@@ -6,12 +6,14 @@
 //! after all state variables. Interleaving keeps the current→next rename
 //! order-preserving, so renaming is a linear rebuild.
 
+use crate::checkpoint::ReachCheckpoint;
+use crate::engine::Budget;
 use crate::CheckStats;
 use veridic_aig::{Aig, Lit, Var};
-use veridic_bdd::{BddManager, FxHashMap, NodeId, OutOfNodes};
+use veridic_bdd::{transfer, BddManager, FxHashMap, NodeId, OutOfNodes};
 
 /// Outcome of a BDD reachability engine.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum BddEngineOutcome {
     /// Bad is unreachable: property proved.
     Proved,
@@ -19,6 +21,18 @@ pub enum BddEngineOutcome {
     FalsifiedAtDepth(usize),
     /// Node quota or iteration limit exhausted.
     ResourceOut,
+    /// The cooperative round [`Budget`] stopped the run between rounds;
+    /// the checkpoint carries the reached/frontier sets serialized
+    /// through [`veridic_bdd::transfer`] so the fixpoint resumes in a
+    /// fresh manager. Never returned by the unbudgeted entry points
+    /// ([`bdd_umc`], [`crate::pobdd_reach`]).
+    Suspended(ReachCheckpoint),
+    /// A slot-local round cap stopped the run
+    /// ([`Budget::checkpoint_worthwhile`] said no): the scheduler will
+    /// hand over to the next engine and discard any state, so no
+    /// checkpoint was built — the reached-set export is skipped
+    /// entirely. Never returned by the unbudgeted entry points.
+    Yielded,
 }
 
 /// A transition-system build that exhausted the node quota, carrying the
@@ -326,6 +340,30 @@ pub fn bdd_umc(
     max_iterations: usize,
     stats: &mut CheckStats,
 ) -> BddEngineOutcome {
+    bdd_umc_session(aig, node_quota, max_iterations, stats, &mut Budget::unlimited(), None)
+}
+
+/// [`bdd_umc`] under a cooperative round [`Budget`], optionally resumed
+/// from a [`ReachCheckpoint`] of an earlier suspended run on the same
+/// AIG.
+///
+/// One budget round is consumed per reachability image. When the budget
+/// trips *between* rounds, the engine exports its reached and frontier
+/// sets through [`veridic_bdd::transfer`] and returns
+/// [`BddEngineOutcome::Suspended`]; resuming imports them into a fresh
+/// manager and continues at round `depth + 1`, so verdict, falsification
+/// depth and the completed-round count in [`CheckStats::iterations`]
+/// are identical to an uninterrupted run (manager accounting —
+/// allocations, peaks — naturally differs: the fresh manager never
+/// built the dead intermediates of the first session).
+pub fn bdd_umc_session(
+    aig: &Aig,
+    node_quota: usize,
+    max_iterations: usize,
+    stats: &mut CheckStats,
+    budget: &mut Budget,
+    resume: Option<&ReachCheckpoint>,
+) -> BddEngineOutcome {
     let mut ts = match TransitionSystem::build(aig, node_quota) {
         Ok(ts) => ts,
         Err(e) => {
@@ -336,20 +374,45 @@ pub fn bdd_umc(
         }
     };
     let outcome = (|| -> Result<BddEngineOutcome, OutOfNodes> {
-        let mut reached = ts.init;
-        let mut frontier = ts.init;
-        ts.mgr.protect(reached);
-        ts.mgr.protect(frontier);
-        if ts.intersects_bad(frontier) {
-            return Ok(BddEngineOutcome::FalsifiedAtDepth(0));
-        }
+        let (mut reached, mut frontier, start_depth) = match resume {
+            Some(ck) => {
+                assert_eq!(ck.window_vars, 0, "monolithic engine resumed with a POBDD checkpoint");
+                assert_eq!(ck.reached.len(), 1, "monolithic checkpoint has one window");
+                // Imports arrive rooted — exactly the registration the
+                // reached/frontier slots own below.
+                let r = transfer::import(&ck.reached[0], &mut ts.mgr)?;
+                let f = transfer::import(&ck.frontier[0], &mut ts.mgr)?;
+                (r, f, ck.depth)
+            }
+            None => {
+                let reached = ts.init;
+                let frontier = ts.init;
+                ts.mgr.protect(reached);
+                ts.mgr.protect(frontier);
+                if ts.intersects_bad(frontier) {
+                    return Ok(BddEngineOutcome::FalsifiedAtDepth(0));
+                }
+                (reached, frontier, 0)
+            }
+        };
         // `stats.iterations` counts *completed* rounds: a round that
         // concludes the check (fixpoint or falsification) counts, a
         // round aborted by the quota does not — the same convention as
         // `pobdd_reach`, so a quota failure during the depth-d image
         // reports d-1 from both engines (it used to report d-1 here and
         // d there, skewing Tables 2/3 between engines).
-        for depth in 1..=max_iterations {
+        for depth in start_depth + 1..=max_iterations {
+            if !budget.tick() {
+                if !budget.checkpoint_worthwhile() {
+                    return Ok(BddEngineOutcome::Yielded);
+                }
+                return Ok(BddEngineOutcome::Suspended(ReachCheckpoint {
+                    depth: depth - 1,
+                    reached: vec![transfer::export(&ts.mgr, reached)],
+                    frontier: vec![transfer::export(&ts.mgr, frontier)],
+                    window_vars: 0,
+                }));
+            }
             let img = ts.image(frontier)?;
             let new = ts.mgr.and_not(img, reached)?;
             if new == NodeId::FALSE {

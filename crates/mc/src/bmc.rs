@@ -1,5 +1,6 @@
 //! SAT-based bounded model checking and k-induction.
 
+use crate::engine::Budget;
 use crate::{CheckStats, Trace};
 use veridic_aig::Aig;
 use veridic_sat::{CnfBuilder, Lit as SLit, SolveResult, Solver};
@@ -13,6 +14,15 @@ pub enum BmcOutcome {
     NoCounterexample,
     /// The conflict budget ran out.
     ResourceOut,
+    /// The cooperative round [`Budget`] stopped the run before this
+    /// depth was queried; resume with `min_depth = next_depth` (the
+    /// solver re-encodes the earlier frames deterministically but does
+    /// not re-query them). Never returned by [`bmc_check`], which runs
+    /// unbudgeted.
+    Suspended {
+        /// First depth the resumed run should query.
+        next_depth: usize,
+    },
 }
 
 /// Outcome of a k-induction run.
@@ -24,6 +34,13 @@ pub enum InductionOutcome {
     Unknown,
     /// The conflict budget ran out.
     ResourceOut,
+    /// The cooperative round [`Budget`] stopped the run before this k
+    /// was attempted; resume from `next_k`. Never returned by
+    /// [`induction_check`], which runs unbudgeted.
+    Suspended {
+        /// First induction depth the resumed run should attempt.
+        next_k: usize,
+    },
 }
 
 /// Bounded model checking of all bads of `aig` between depths
@@ -37,6 +54,21 @@ pub fn bmc_check(
     max_depth: usize,
     conflict_budget: u64,
     stats: &mut CheckStats,
+) -> BmcOutcome {
+    bmc_check_budgeted(aig, min_depth, max_depth, conflict_budget, stats, &mut Budget::unlimited())
+}
+
+/// [`bmc_check`] under a cooperative round [`Budget`]: one budget round
+/// is consumed per depth actually queried (depths below `min_depth` are
+/// encoded for free). When the budget trips, the run suspends with the
+/// next depth as its checkpoint.
+pub fn bmc_check_budgeted(
+    aig: &Aig,
+    min_depth: usize,
+    max_depth: usize,
+    conflict_budget: u64,
+    stats: &mut CheckStats,
+    budget: &mut Budget,
 ) -> BmcOutcome {
     let mut solver = Solver::new();
     let base_conflicts = 0;
@@ -59,6 +91,10 @@ pub fn bmc_check(
         }
         if k < min_depth {
             continue;
+        }
+        if !budget.tick() {
+            stats.sat_conflicts += solver.num_conflicts() - base_conflicts;
+            return BmcOutcome::Suspended { next_depth: k };
         }
         // bad_k: OR of all bads in frame k, via a selector literal.
         let frame = &frames[k];
@@ -121,7 +157,34 @@ pub fn induction_check(
     conflict_budget: u64,
     stats: &mut CheckStats,
 ) -> InductionOutcome {
-    for k in 1..=max_k {
+    induction_check_budgeted(
+        aig,
+        1,
+        max_k,
+        simple_path,
+        conflict_budget,
+        stats,
+        &mut Budget::unlimited(),
+    )
+}
+
+/// [`induction_check`] under a cooperative round [`Budget`], starting
+/// from `min_k` (a resumed run's checkpoint): one budget round per k
+/// attempted. When the budget trips, the run suspends with the next k.
+#[allow(clippy::too_many_arguments)]
+pub fn induction_check_budgeted(
+    aig: &Aig,
+    min_k: usize,
+    max_k: usize,
+    simple_path: bool,
+    conflict_budget: u64,
+    stats: &mut CheckStats,
+    budget: &mut Budget,
+) -> InductionOutcome {
+    for k in min_k.max(1)..=max_k {
+        if !budget.tick() {
+            return InductionOutcome::Suspended { next_k: k };
+        }
         let mut solver = Solver::new();
         solver.set_conflict_budget(Some(conflict_budget));
         // Frames 0..=k from an arbitrary initial state.

@@ -1,0 +1,202 @@
+//! The pre-portfolio engine cascade, preserved verbatim as a test
+//! oracle.
+//!
+//! This module is `#[doc(hidden)]` and exists for one purpose: the
+//! equality tests that pin `Portfolio::default()` to the historical
+//! `check()` behavior — verdicts, statistics and rendered engine
+//! strings — compare against *this* code, not against the portfolio
+//! re-implementation of itself. Do not use it in new code; it will be
+//! deleted once the redesign has soaked.
+
+use crate::{bdd_engine, bmc, pobdd, BadCoiStats, CheckOptions, CheckStats, Trace, Verdict};
+use bdd_engine::BddEngineOutcome;
+use veridic_aig::Aig;
+
+/// Result of the legacy cascade: verdict, stats (with empty `events`),
+/// and the stringly-typed engine log the portfolio's
+/// [`crate::CheckStats::engines_tried`] must reproduce byte-for-byte.
+#[derive(Clone, Debug)]
+pub struct LegacyResult {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Statistics (the `events` field stays empty here).
+    pub stats: CheckStats,
+    /// The historical `engines_tried` strings.
+    pub engines_tried: Vec<String>,
+}
+
+/// The pre-redesign `check()`: every bad separately, first failure
+/// wins, hard-coded BMC → induction → BDD UMC → POBDD cascade.
+pub fn check(aig: &Aig, opts: &CheckOptions) -> LegacyResult {
+    let mut stats = CheckStats::default();
+    let mut engines_tried = Vec::new();
+    for bad_index in 0..aig.bads().len() {
+        let result = check_one(aig, bad_index, opts, &mut stats, &mut engines_tried);
+        match result {
+            Verdict::Proved { .. } => continue,
+            other => return LegacyResult { verdict: other, stats, engines_tried },
+        }
+    }
+    LegacyResult { verdict: Verdict::Proved { engine: "portfolio" }, stats, engines_tried }
+}
+
+/// The pre-redesign `check_one`, with the engine log split out of the
+/// stats (the field it used to live in is now the typed event list).
+pub fn check_one(
+    aig: &Aig,
+    bad_index: usize,
+    opts: &CheckOptions,
+    stats: &mut CheckStats,
+    engines_tried: &mut Vec<String>,
+) -> Verdict {
+    // Cone of influence: bad + all constraints (constraints must keep
+    // their meaning on every path).
+    let bad = aig.bads()[bad_index].lit;
+    let mut roots = vec![bad];
+    roots.extend(aig.constraints().iter().map(|c| c.lit));
+    let coi = aig.extract_coi(&roots);
+    let mut sub = coi.aig;
+    let bad_name = aig.bads()[bad_index].name.clone();
+    sub.add_bad(bad_name.clone(), coi.roots[0]);
+    for (i, c) in aig.constraints().iter().enumerate() {
+        sub.add_constraint(c.name.clone(), coi.roots[1 + i]);
+    }
+    stats.coi_latches = stats.coi_latches.max(sub.num_latches());
+    stats.coi_ands = stats.coi_ands.max(sub.num_ands());
+    stats.per_bad_coi.push(BadCoiStats {
+        bad: bad_name.clone(),
+        latches: sub.num_latches(),
+        ands: sub.num_ands(),
+    });
+
+    // Map a trace on the reduced AIG back to the full input space.
+    let expand_trace = |t: Trace| -> Trace {
+        let mut full = vec![vec![false; aig.num_inputs()]; t.inputs.len()];
+        for (old_var, new_var) in &coi.input_map {
+            let old_idx = aig.input_index(*old_var).expect("input var");
+            let new_idx = sub.input_index(*new_var).expect("mapped input var");
+            for (dst, src) in full.iter_mut().zip(&t.inputs) {
+                dst[old_idx] = src[new_idx];
+            }
+        }
+        Trace { inputs: full, bad_index }
+    };
+
+    let mut reasons: Vec<String> = Vec::new();
+
+    if !opts.bdd_only {
+        match bmc::bmc_check(&sub, 0, opts.bmc_depth, opts.sat_conflicts, stats) {
+            bmc::BmcOutcome::Falsified(t) => {
+                let full = expand_trace(Trace { inputs: t.inputs, bad_index });
+                assert!(full.replays_on(aig), "BMC counterexample failed replay");
+                engines_tried.push(format!("{bad_name}/bmc: falsified"));
+                return Verdict::Falsified(full);
+            }
+            bmc::BmcOutcome::NoCounterexample => {
+                engines_tried.push(format!("{bad_name}/bmc: clean to depth {}", opts.bmc_depth));
+            }
+            bmc::BmcOutcome::ResourceOut => {
+                engines_tried.push(format!("{bad_name}/bmc: resource-out"));
+                reasons.push(format!("BMC conflict budget ({})", opts.sat_conflicts));
+            }
+            bmc::BmcOutcome::Suspended { .. } => {
+                unreachable!("unbudgeted BMC cannot suspend")
+            }
+        }
+        match bmc::induction_check(
+            &sub,
+            opts.induction_depth,
+            opts.simple_path,
+            opts.sat_conflicts,
+            stats,
+        ) {
+            bmc::InductionOutcome::Proved(k) => {
+                engines_tried.push(format!("{bad_name}/induction: proved at k={k}"));
+                return Verdict::Proved { engine: "bmc-induction" };
+            }
+            bmc::InductionOutcome::Unknown => {
+                engines_tried.push(format!("{bad_name}/induction: inconclusive"));
+            }
+            bmc::InductionOutcome::ResourceOut => {
+                engines_tried.push(format!("{bad_name}/induction: resource-out"));
+                reasons.push("induction conflict budget".into());
+            }
+            bmc::InductionOutcome::Suspended { .. } => {
+                unreachable!("unbudgeted induction cannot suspend")
+            }
+        }
+    }
+
+    if !opts.sat_only {
+        match bdd_engine::bdd_umc(&sub, opts.bdd_nodes, opts.max_iterations, stats) {
+            BddEngineOutcome::Proved => {
+                engines_tried.push(format!("{bad_name}/bdd-umc: proved"));
+                return Verdict::Proved { engine: "bdd-umc" };
+            }
+            BddEngineOutcome::FalsifiedAtDepth(k) => {
+                engines_tried.push(format!("{bad_name}/bdd-umc: bad reachable at depth {k}"));
+                // Extract the trace with a depth-pinned BMC run.
+                match bmc::bmc_check(&sub, k, k, u64::MAX, stats) {
+                    bmc::BmcOutcome::Falsified(t) => {
+                        let full = expand_trace(Trace { inputs: t.inputs, bad_index });
+                        assert!(full.replays_on(aig), "BDD counterexample failed replay");
+                        return Verdict::Falsified(full);
+                    }
+                    other => panic!(
+                        "BDD engine reported depth-{k} violation but BMC disagrees: {other:?}"
+                    ),
+                }
+            }
+            BddEngineOutcome::ResourceOut => {
+                engines_tried.push(format!("{bad_name}/bdd-umc: resource-out"));
+                reasons.push(format!("BDD node quota ({})", opts.bdd_nodes));
+            }
+            BddEngineOutcome::Suspended(_) | BddEngineOutcome::Yielded => {
+                unreachable!("unbudgeted BDD UMC cannot suspend")
+            }
+        }
+        if opts.pobdd_window_vars > 0 {
+            match pobdd::pobdd_reach(
+                &sub,
+                opts.pobdd_window_vars,
+                opts.pobdd_workers,
+                opts.bdd_nodes,
+                opts.max_iterations,
+                stats,
+            ) {
+                BddEngineOutcome::Proved => {
+                    engines_tried.push(format!("{bad_name}/pobdd-umc: proved"));
+                    return Verdict::Proved { engine: "pobdd-umc" };
+                }
+                BddEngineOutcome::FalsifiedAtDepth(k) => {
+                    engines_tried.push(format!("{bad_name}/pobdd-umc: bad at depth {k}"));
+                    match bmc::bmc_check(&sub, k, k, u64::MAX, stats) {
+                        bmc::BmcOutcome::Falsified(t) => {
+                            let full = expand_trace(Trace { inputs: t.inputs, bad_index });
+                            assert!(full.replays_on(aig), "POBDD counterexample failed replay");
+                            return Verdict::Falsified(full);
+                        }
+                        other => panic!(
+                            "POBDD reported depth-{k} violation but BMC disagrees: {other:?}"
+                        ),
+                    }
+                }
+                BddEngineOutcome::ResourceOut => {
+                    engines_tried.push(format!("{bad_name}/pobdd-umc: resource-out"));
+                    reasons.push("POBDD node quota".into());
+                }
+                BddEngineOutcome::Suspended(_) | BddEngineOutcome::Yielded => {
+                    unreachable!("unbudgeted POBDD cannot suspend")
+                }
+            }
+        }
+    }
+
+    Verdict::ResourceOut {
+        reason: if reasons.is_empty() {
+            "no engine concluded within its budget".to_string()
+        } else {
+            reasons.join("; ")
+        },
+    }
+}

@@ -1,6 +1,7 @@
 //! # veridic-mc
 //!
-//! Model-checking engines over And-Inverter Graphs:
+//! Model-checking engines over And-Inverter Graphs, scheduled by a
+//! first-class **engine portfolio**:
 //!
 //! * **SAT BMC** — bounded unrolling for fast falsification and
 //!   counterexample extraction (the "commercial tool" role).
@@ -10,6 +11,15 @@
 //!   transition relations and early quantification (unbounded proof).
 //! * **POBDD UMC** — partitioned-OBDD reachability, the reproduction of
 //!   the paper's in-house engine \[Jain, IWLS 2004\].
+//!
+//! Each engine implements the [`Engine`] trait; a [`Portfolio`] owns an
+//! ordered, per-engine-budgeted policy over them. The default policy is
+//! the paper's cascade (BMC → induction → BDD UMC → POBDD), and the
+//! flat [`check`]/[`check_one`] entry points are thin shims over it.
+//! Every engine loop cooperates with a [`Budget`]/[`CancelToken`], and
+//! the BDD engines checkpoint their fixpoint state through
+//! `veridic_bdd::transfer` so a suspended run resumes
+//! ([`Portfolio::resume`]) with identical verdicts.
 //!
 //! All engines run under **deterministic resource budgets** (BDD node
 //! quotas, SAT conflict quotas, depth limits). Exhausting a budget yields
@@ -23,15 +33,16 @@
 //!
 //! ```
 //! use veridic_aig::Aig;
-//! use veridic_mc::{check, CheckOptions, Verdict};
+//! use veridic_mc::{CheckOptions, Portfolio, Verdict};
 //!
 //! // A latch that is never true: proving `never q` succeeds.
 //! let mut aig = Aig::new();
 //! let (id, q) = aig.latch("q", false);
 //! aig.set_next(id, q);
 //! aig.add_bad("q_high", q);
-//! let verdict = check(&aig, &CheckOptions::default());
-//! assert!(matches!(verdict.verdict, Verdict::Proved { .. }));
+//! let opts = CheckOptions::builder().pobdd_workers(1).build();
+//! let result = Portfolio::default().check(&aig, &opts);
+//! assert!(matches!(result.verdict, Verdict::Proved { .. }));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -39,11 +50,30 @@
 
 mod bdd_engine;
 mod bmc;
+mod checkpoint;
+mod engine;
+#[doc(hidden)]
+pub mod legacy;
+mod options;
 mod pobdd;
+mod portfolio;
 
-pub use bdd_engine::{bdd_umc, BddEngineOutcome, BuildError, TransitionSystem};
-pub use bmc::{bmc_check, induction_check, BmcOutcome, InductionOutcome};
-pub use pobdd::pobdd_reach;
+pub use bdd_engine::{bdd_umc, bdd_umc_session, BddEngineOutcome, BuildError, TransitionSystem};
+pub use bmc::{
+    bmc_check, bmc_check_budgeted, induction_check, induction_check_budgeted, BmcOutcome,
+    InductionOutcome,
+};
+pub use checkpoint::{EngineCheckpoint, ReachCheckpoint};
+pub use engine::{
+    Budget, CancelToken, Engine, EngineCtx, EngineEvent, EngineId, EngineOutcome, EventOutcome,
+    EventResources,
+};
+pub use options::{CheckOptions, CheckOptionsBuilder};
+pub use pobdd::{pobdd_reach, pobdd_reach_session};
+pub use portfolio::{
+    BddUmcEngine, BmcEngine, InductionEngine, PobddEngine, Portfolio, PortfolioOutcome,
+    RunCheckpoint,
+};
 
 use veridic_aig::Aig;
 
@@ -137,10 +167,12 @@ pub struct BadCoiStats {
 /// Per-check statistics for reporting.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct CheckStats {
-    /// Engines attempted, in order, with their outcomes. Each entry is
-    /// prefixed with the name of the bad it ran for (`"<bad>/<engine>:
-    /// <outcome>"`), so multi-bad checks stay attributable.
-    pub engines_tried: Vec<String>,
+    /// The typed engine log: every engine attempt, in schedule order,
+    /// with its bad-output attribution, outcome and resource deltas.
+    /// Replaces the old stringly-typed `engines_tried: Vec<String>`
+    /// field; the legacy strings are [`CheckStats::engines_tried`]
+    /// away.
+    pub events: Vec<EngineEvent>,
     /// AIG latches after cone-of-influence reduction: the **maximum**
     /// over all checked bads (see [`CheckStats::per_bad_coi`] for the
     /// per-bad breakdown).
@@ -174,6 +206,15 @@ pub struct CheckStats {
     pub worker_bdd: Vec<BddWorkerStats>,
 }
 
+impl CheckStats {
+    /// Renders the event log as the historical `engines_tried` strings
+    /// (`"<bad>/<engine>: <outcome>"`, in schedule order) — the exact
+    /// text Tables 2/3 and the Fig. 7 demos have always printed.
+    pub fn engines_tried(&self) -> Vec<String> {
+        self.events.iter().map(EngineEvent::render).collect()
+    }
+}
+
 /// The result of [`check`]: verdict plus statistics.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CheckResult {
@@ -183,261 +224,35 @@ pub struct CheckResult {
     pub stats: CheckStats,
 }
 
-/// Budgets and engine selection for [`check`].
-#[derive(Clone, Debug)]
-pub struct CheckOptions {
-    /// Maximum BMC unrolling depth.
-    pub bmc_depth: usize,
-    /// SAT conflict budget for each SAT engine call.
-    pub sat_conflicts: u64,
-    /// Maximum k for k-induction.
-    pub induction_depth: usize,
-    /// Add simple-path (loop-free) constraints to induction steps.
-    pub simple_path: bool,
-    /// BDD node quota.
-    pub bdd_nodes: usize,
-    /// Maximum forward-reachability iterations.
-    pub max_iterations: usize,
-    /// Number of POBDD window variables (2^k partitions); 0 disables the
-    /// POBDD fallback.
-    pub pobdd_window_vars: u32,
-    /// Worker threads for the POBDD engine: each window partition's
-    /// fixpoint runs in its own thread with its own BDD manager,
-    /// exchanging frontiers between synchronous rounds (verdicts and
-    /// depths are worker-count-independent; see
-    /// [`pobdd_reach`]). `0` = one per available CPU. The default of
-    /// `1` keeps the engine serial so it composes with campaign-level
-    /// parallelism (`CampaignConfig::workers` in `veridic-core`)
-    /// without oversubscribing; raise it for single hard properties.
-    pub pobdd_workers: usize,
-    /// Skip the SAT engines (BDD-only portfolio).
-    pub bdd_only: bool,
-    /// Skip the BDD engines (SAT-only portfolio).
-    pub sat_only: bool,
-}
-
-impl Default for CheckOptions {
-    fn default() -> Self {
-        CheckOptions {
-            bmc_depth: 30,
-            sat_conflicts: 200_000,
-            // Stereotype properties are k<=3 inductive by construction;
-            // hold-capable integrity properties are not k-inductive for
-            // ANY k (see veridic-core docs) — iterating far past the
-            // inductive horizon only burns quadratic simple-path clauses
-            // before the BDD engines take over.
-            induction_depth: 6,
-            simple_path: true,
-            // Recalibrated for live-node quota semantics: with complement
-            // edges + GC a live node packs roughly twice the logical work
-            // of the old ever-allocated unit, so 2M live ~= the old 4M.
-            bdd_nodes: 1 << 21,
-            max_iterations: 10_000,
-            pobdd_window_vars: 2,
-            pobdd_workers: 1,
-            bdd_only: false,
-            sat_only: false,
-        }
-    }
-}
-
-impl CheckOptions {
-    /// A deliberately tiny budget, used to demonstrate and test the
-    /// resource-out → partition flow of Fig. 7.
-    pub fn tiny_budget() -> Self {
-        CheckOptions {
-            bmc_depth: 4,
-            sat_conflicts: 200,
-            induction_depth: 2,
-            simple_path: false,
-            bdd_nodes: 2_000,
-            max_iterations: 64,
-            pobdd_window_vars: 0,
-            pobdd_workers: 1,
-            bdd_only: false,
-            sat_only: false,
-        }
-    }
-}
-
 /// Checks every bad of `aig` (each separately; first failure wins) under
 /// the given budgets.
 ///
-/// The portfolio per bad: COI reduction → BMC (falsification) →
-/// k-induction (proof) → BDD forward UMC → POBDD UMC. Engines that
-/// exhaust their budget hand over to the next; if all do, the result is
-/// [`Verdict::ResourceOut`].
+/// A thin compatibility shim over [`Portfolio::check`] with the default
+/// policy — COI reduction → BMC (falsification) → k-induction (proof) →
+/// BDD forward UMC → POBDD UMC. Engines that exhaust their budget hand
+/// over to the next; if all do, the result is [`Verdict::ResourceOut`].
+/// Prefer holding a [`Portfolio`] when checking many properties (the
+/// policy is built once) or when budgets/checkpoints are needed.
 ///
 /// # Panics
 ///
 /// Panics if an engine returns a counterexample that does not replay on
 /// the AIG (a checker bug, never a property of the design).
 pub fn check(aig: &Aig, opts: &CheckOptions) -> CheckResult {
-    let mut stats = CheckStats::default();
-    for bad_index in 0..aig.bads().len() {
-        let result = check_one(aig, bad_index, opts, &mut stats);
-        match result {
-            Verdict::Proved { .. } => continue,
-            other => return CheckResult { verdict: other, stats },
-        }
-    }
-    CheckResult { verdict: Verdict::Proved { engine: "portfolio" }, stats }
+    Portfolio::default().check(aig, opts)
 }
 
 /// Checks a single bad (by index into [`Aig::bads`]).
 ///
-/// See [`check`] for the portfolio and panics.
+/// A thin compatibility shim over [`Portfolio::check_bad`] with the
+/// default policy; see [`check`] for the cascade and panics.
 pub fn check_one(
     aig: &Aig,
     bad_index: usize,
     opts: &CheckOptions,
     stats: &mut CheckStats,
 ) -> Verdict {
-    // Cone of influence: bad + all constraints (constraints must keep
-    // their meaning on every path).
-    let bad = aig.bads()[bad_index].lit;
-    let mut roots = vec![bad];
-    roots.extend(aig.constraints().iter().map(|c| c.lit));
-    let coi = aig.extract_coi(&roots);
-    let mut sub = coi.aig;
-    let bad_name = aig.bads()[bad_index].name.clone();
-    sub.add_bad(bad_name.clone(), coi.roots[0]);
-    for (i, c) in aig.constraints().iter().enumerate() {
-        sub.add_constraint(c.name.clone(), coi.roots[1 + i]);
-    }
-    // Per-bad COI sizes: the summary fields aggregate by max so a
-    // multi-bad check reports its hardest cone instead of whichever bad
-    // happened to be checked last.
-    stats.coi_latches = stats.coi_latches.max(sub.num_latches());
-    stats.coi_ands = stats.coi_ands.max(sub.num_ands());
-    stats.per_bad_coi.push(BadCoiStats {
-        bad: bad_name.clone(),
-        latches: sub.num_latches(),
-        ands: sub.num_ands(),
-    });
-
-    // Map a trace on the reduced AIG back to the full input space.
-    let expand_trace = |t: Trace| -> Trace {
-        let mut full = vec![vec![false; aig.num_inputs()]; t.inputs.len()];
-        for (old_var, new_var) in &coi.input_map {
-            let old_idx = aig.input_index(*old_var).expect("input var");
-            let new_idx = sub.input_index(*new_var).expect("mapped input var");
-            for (dst, src) in full.iter_mut().zip(&t.inputs) {
-                dst[old_idx] = src[new_idx];
-            }
-        }
-        Trace { inputs: full, bad_index }
-    };
-
-    let mut reasons: Vec<String> = Vec::new();
-
-    if !opts.bdd_only {
-        match bmc::bmc_check(&sub, 0, opts.bmc_depth, opts.sat_conflicts, stats) {
-            bmc::BmcOutcome::Falsified(t) => {
-                let full = expand_trace(Trace { inputs: t.inputs, bad_index });
-                assert!(full.replays_on(aig), "BMC counterexample failed replay");
-                stats.engines_tried.push(format!("{bad_name}/bmc: falsified"));
-                return Verdict::Falsified(full);
-            }
-            bmc::BmcOutcome::NoCounterexample => {
-                stats
-                    .engines_tried
-                    .push(format!("{bad_name}/bmc: clean to depth {}", opts.bmc_depth));
-            }
-            bmc::BmcOutcome::ResourceOut => {
-                stats.engines_tried.push(format!("{bad_name}/bmc: resource-out"));
-                reasons.push(format!("BMC conflict budget ({})", opts.sat_conflicts));
-            }
-        }
-        match bmc::induction_check(
-            &sub,
-            opts.induction_depth,
-            opts.simple_path,
-            opts.sat_conflicts,
-            stats,
-        ) {
-            bmc::InductionOutcome::Proved(k) => {
-                stats.engines_tried.push(format!("{bad_name}/induction: proved at k={k}"));
-                return Verdict::Proved { engine: "bmc-induction" };
-            }
-            bmc::InductionOutcome::Unknown => {
-                stats.engines_tried.push(format!("{bad_name}/induction: inconclusive"));
-            }
-            bmc::InductionOutcome::ResourceOut => {
-                stats.engines_tried.push(format!("{bad_name}/induction: resource-out"));
-                reasons.push("induction conflict budget".into());
-            }
-        }
-    }
-
-    if !opts.sat_only {
-        match bdd_engine::bdd_umc(&sub, opts.bdd_nodes, opts.max_iterations, stats) {
-            BddEngineOutcome::Proved => {
-                stats.engines_tried.push(format!("{bad_name}/bdd-umc: proved"));
-                return Verdict::Proved { engine: "bdd-umc" };
-            }
-            BddEngineOutcome::FalsifiedAtDepth(k) => {
-                stats
-                    .engines_tried
-                    .push(format!("{bad_name}/bdd-umc: bad reachable at depth {k}"));
-                // Extract the trace with a depth-pinned BMC run.
-                match bmc::bmc_check(&sub, k, k, u64::MAX, stats) {
-                    bmc::BmcOutcome::Falsified(t) => {
-                        let full = expand_trace(Trace { inputs: t.inputs, bad_index });
-                        assert!(full.replays_on(aig), "BDD counterexample failed replay");
-                        return Verdict::Falsified(full);
-                    }
-                    other => panic!(
-                        "BDD engine reported depth-{k} violation but BMC disagrees: {other:?}"
-                    ),
-                }
-            }
-            BddEngineOutcome::ResourceOut => {
-                stats.engines_tried.push(format!("{bad_name}/bdd-umc: resource-out"));
-                reasons.push(format!("BDD node quota ({})", opts.bdd_nodes));
-            }
-        }
-        if opts.pobdd_window_vars > 0 {
-            match pobdd::pobdd_reach(
-                &sub,
-                opts.pobdd_window_vars,
-                opts.pobdd_workers,
-                opts.bdd_nodes,
-                opts.max_iterations,
-                stats,
-            ) {
-                BddEngineOutcome::Proved => {
-                    stats.engines_tried.push(format!("{bad_name}/pobdd-umc: proved"));
-                    return Verdict::Proved { engine: "pobdd-umc" };
-                }
-                BddEngineOutcome::FalsifiedAtDepth(k) => {
-                    stats.engines_tried.push(format!("{bad_name}/pobdd-umc: bad at depth {k}"));
-                    match bmc::bmc_check(&sub, k, k, u64::MAX, stats) {
-                        bmc::BmcOutcome::Falsified(t) => {
-                            let full = expand_trace(Trace { inputs: t.inputs, bad_index });
-                            assert!(full.replays_on(aig), "POBDD counterexample failed replay");
-                            return Verdict::Falsified(full);
-                        }
-                        other => panic!(
-                            "POBDD reported depth-{k} violation but BMC disagrees: {other:?}"
-                        ),
-                    }
-                }
-                BddEngineOutcome::ResourceOut => {
-                    stats.engines_tried.push(format!("{bad_name}/pobdd-umc: resource-out"));
-                    reasons.push("POBDD node quota".into());
-                }
-            }
-        }
-    }
-
-    Verdict::ResourceOut {
-        reason: if reasons.is_empty() {
-            "no engine concluded within its budget".to_string()
-        } else {
-            reasons.join("; ")
-        },
-    }
+    Portfolio::default().check_bad(aig, bad_index, opts, stats)
 }
 
 #[cfg(test)]
@@ -573,16 +388,24 @@ mod tests {
         // Summary is the max over bads — the old code reported the last
         // checked bad's 1-latch cone here.
         assert_eq!(r.stats.coi_latches, 3);
-        // Engine attempts are attributed to their bad.
-        assert!(!r.stats.engines_tried.is_empty());
-        for e in &r.stats.engines_tried {
+        // Engine attempts are attributed to their bad — both in the
+        // typed event log and in its legacy rendering.
+        assert!(!r.stats.events.is_empty());
+        for ev in &r.stats.events {
+            assert!(
+                ev.bad == "chain_high" || ev.bad == "stuck_high",
+                "unattributed engine event: {ev:?}"
+            );
+        }
+        let rendered = r.stats.engines_tried();
+        for e in &rendered {
             assert!(
                 e.starts_with("chain_high/") || e.starts_with("stuck_high/"),
                 "unattributed engine entry: {e}"
             );
         }
-        assert!(r.stats.engines_tried.iter().any(|e| e.starts_with("chain_high/")));
-        assert!(r.stats.engines_tried.iter().any(|e| e.starts_with("stuck_high/")));
+        assert!(rendered.iter().any(|e| e.starts_with("chain_high/")));
+        assert!(rendered.iter().any(|e| e.starts_with("stuck_high/")));
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! worker count (see the determinism notes on [`pobdd_reach`]).
 
 use crate::bdd_engine::{BddEngineOutcome, TransitionSystem};
+use crate::checkpoint::ReachCheckpoint;
+use crate::engine::Budget;
 use crate::{BddWorkerStats, CheckStats};
 use std::sync::mpsc::{Receiver, Sender};
 use veridic_aig::Aig;
@@ -55,11 +57,62 @@ pub fn pobdd_reach(
     max_iterations: usize,
     stats: &mut CheckStats,
 ) -> BddEngineOutcome {
+    pobdd_reach_session(
+        aig,
+        window_vars,
+        workers,
+        node_quota,
+        max_iterations,
+        stats,
+        &mut Budget::unlimited(),
+        None,
+    )
+}
+
+/// [`pobdd_reach`] under a cooperative round [`Budget`], optionally
+/// resumed from a [`ReachCheckpoint`] of an earlier suspended run on
+/// the same AIG.
+///
+/// One budget round is consumed per global reachability round. When the
+/// budget trips between rounds, every window's reached and frontier set
+/// is exported through [`veridic_bdd::transfer`] (the threaded engine
+/// collects its workers' owned windows through the same round protocol)
+/// and the run suspends. Resume re-derives the identical window split
+/// from the AIG, imports the per-window sets, and continues at the next
+/// round — with any worker count: rounds are globally synchronous, so a
+/// checkpoint taken under one worker layout resumes under another with
+/// the same verdict, depth and completed-round count.
+#[allow(clippy::too_many_arguments)]
+pub fn pobdd_reach_session(
+    aig: &Aig,
+    window_vars: u32,
+    workers: usize,
+    node_quota: usize,
+    max_iterations: usize,
+    stats: &mut CheckStats,
+    budget: &mut Budget,
+    resume: Option<&ReachCheckpoint>,
+) -> BddEngineOutcome {
+    if let Some(ck) = resume {
+        assert_eq!(
+            ck.window_vars, window_vars,
+            "POBDD resumed with a checkpoint from a different window split"
+        );
+    }
     let workers = effective_workers(workers, window_vars, aig);
     if workers <= 1 {
-        serial_reach(aig, window_vars, node_quota, max_iterations, stats)
+        serial_reach(aig, window_vars, node_quota, max_iterations, stats, budget, resume)
     } else {
-        parallel_reach(aig, window_vars, workers, node_quota, max_iterations, stats)
+        parallel_reach(
+            aig,
+            window_vars,
+            workers,
+            node_quota,
+            max_iterations,
+            stats,
+            budget,
+            resume,
+        )
     }
 }
 
@@ -127,6 +180,8 @@ fn serial_reach(
     node_quota: usize,
     max_iterations: usize,
     stats: &mut CheckStats,
+    budget: &mut Budget,
+    resume: Option<&ReachCheckpoint>,
 ) -> BddEngineOutcome {
     let mut ts = match TransitionSystem::build(aig, node_quota) {
         Ok(ts) => ts,
@@ -145,7 +200,7 @@ fn serial_reach(
             return BddEngineOutcome::ResourceOut;
         }
     };
-    let outcome = serial_run(&mut ts, window_vars, max_iterations, stats);
+    let outcome = serial_run(&mut ts, window_vars, max_iterations, stats, budget, resume);
     stats.bdd_nodes = stats.bdd_nodes.max(ts.mgr.peak_live_nodes());
     stats.bdd_allocated += ts.mgr.total_allocated();
     stats.worker_bdd = vec![BddWorkerStats {
@@ -167,6 +222,8 @@ fn serial_run(
     window_vars: u32,
     max_iterations: usize,
     stats: &mut CheckStats,
+    budget: &mut Budget,
+    resume: Option<&ReachCheckpoint>,
 ) -> Result<BddEngineOutcome, OutOfNodes> {
     let split = choose_split_vars(ts, window_vars);
     let windows = build_windows(ts, &split)?;
@@ -175,23 +232,54 @@ fn serial_run(
     // Per-partition reached sets and frontiers.
     let mut reached = vec![NodeId::FALSE; nparts];
     let mut frontier = vec![NodeId::FALSE; nparts];
-    for w in 0..nparts {
-        let part = ts.mgr.and(ts.init, windows[w])?;
-        ts.mgr.protect(part); // reached slot
-        ts.mgr.protect(part); // frontier slot
-        reached[w] = part;
-        frontier[w] = part;
-        if part != NodeId::FALSE && ts.intersects_bad(part) {
-            return Ok(BddEngineOutcome::FalsifiedAtDepth(0));
+    let start_depth = match resume {
+        Some(ck) => {
+            assert_eq!(
+                ck.reached.len(),
+                nparts,
+                "checkpoint window count must match the re-derived split"
+            );
+            for w in 0..nparts {
+                // Each import arrives rooted: exactly the registration
+                // the reached/frontier slot owns.
+                reached[w] = transfer::import(&ck.reached[w], &mut ts.mgr)?;
+                frontier[w] = transfer::import(&ck.frontier[w], &mut ts.mgr)?;
+            }
+            ck.depth
         }
-    }
+        None => {
+            for w in 0..nparts {
+                let part = ts.mgr.and(ts.init, windows[w])?;
+                ts.mgr.protect(part); // reached slot
+                ts.mgr.protect(part); // frontier slot
+                reached[w] = part;
+                frontier[w] = part;
+                if part != NodeId::FALSE && ts.intersects_bad(part) {
+                    return Ok(BddEngineOutcome::FalsifiedAtDepth(0));
+                }
+            }
+            0
+        }
+    };
 
     // Synchronous rounds: depth is global, so falsification depths agree
     // with the monolithic engine. `stats.iterations` counts *completed*
     // rounds (a round that concludes the check counts as completed, a
     // round aborted by the quota does not) — the same convention as
     // `bdd_umc`, so Tables 2/3 agree between engines on every exit path.
-    for depth in 1..=max_iterations {
+    for depth in start_depth + 1..=max_iterations {
+        if !budget.tick() {
+            if !budget.checkpoint_worthwhile() {
+                return Ok(BddEngineOutcome::Yielded);
+            }
+            let export_all = |v: &[NodeId]| v.iter().map(|&n| transfer::export(&ts.mgr, n)).collect();
+            return Ok(BddEngineOutcome::Suspended(ReachCheckpoint {
+                depth: depth - 1,
+                reached: export_all(&reached),
+                frontier: export_all(&frontier),
+                window_vars,
+            }));
+        }
         let mut new_frontier = vec![NodeId::FALSE; nparts];
         let mut any_new = false;
         for &fr in &frontier {
@@ -296,6 +384,9 @@ fn choose_split_vars(ts: &TransitionSystem, want: u32) -> Vec<u32> {
 /// restricted to window `dst`, serialized for the destination manager.
 type RemotePiece = (usize, usize, ExportedBdd); // (dst, src, piece)
 
+/// One window's checkpoint piece: `(window, reached, frontier)`.
+type CheckpointPiece = (usize, ExportedBdd, ExportedBdd);
+
 /// Coordinator → worker commands, one round at a time.
 enum ToWorker {
     /// Compute this round's images for every owned window and ship the
@@ -304,6 +395,9 @@ enum ToWorker {
     /// Absorb the routed pieces (pre-sorted by `(dst, src)`) into the
     /// owned reached sets/frontiers and report the round status.
     Absorb(Vec<RemotePiece>),
+    /// Export the owned windows' reached/frontier sets (the budget
+    /// suspended the run between rounds).
+    Checkpoint,
     /// Tear down and report final manager accounting.
     Stop,
 }
@@ -312,11 +406,17 @@ enum ToWorker {
 /// exactly one report (even on quota failure), so the coordinator's
 /// barrier is a fixed receive count per phase.
 enum FromWorker {
-    Built { falsified0: bool, ok: bool },
+    /// Setup done. `owner` is the worker's window→worker assignment —
+    /// every worker derives the identical map from its identically
+    /// built transition system, and the coordinator adopts the first
+    /// successful worker's copy for routing.
+    Built { falsified0: bool, ok: bool, owner: Vec<usize> },
     Images { remote: Vec<RemotePiece>, ok: bool },
     Absorbed { any_new: bool, falsified: bool, ok: bool },
+    Checkpointed { pieces: Vec<CheckpointPiece>, ok: bool },
 }
 
+#[allow(clippy::too_many_arguments)]
 fn parallel_reach(
     aig: &Aig,
     window_vars: u32,
@@ -324,6 +424,8 @@ fn parallel_reach(
     node_quota: usize,
     max_iterations: usize,
     stats: &mut CheckStats,
+    budget: &mut Budget,
+    resume: Option<&ReachCheckpoint>,
 ) -> BddEngineOutcome {
     let (up_tx, up_rx) = std::sync::mpsc::channel::<(usize, FromWorker)>();
     let outcome = std::thread::scope(|s| {
@@ -334,13 +436,23 @@ fn parallel_reach(
             let up = up_tx.clone();
             to_workers.push(down_tx);
             handles.push(s.spawn(move || {
-                window_worker(aig, wid, workers, window_vars, node_quota, &down_rx, &up)
+                window_worker(aig, wid, workers, window_vars, node_quota, resume, &down_rx, &up)
             }));
         }
         // Only the workers hold senders now: if every worker died, the
         // coordinator's recv errors out instead of blocking forever.
         drop(up_tx);
-        let outcome = drive_rounds(&to_workers, &up_rx, workers, max_iterations, stats);
+        let start_depth = resume.map_or(0, |ck| ck.depth);
+        let outcome = drive_rounds(
+            &to_workers,
+            &up_rx,
+            workers,
+            max_iterations,
+            stats,
+            budget,
+            start_depth,
+            window_vars,
+        );
         for tx in &to_workers {
             let _ = tx.send(ToWorker::Stop);
         }
@@ -363,22 +475,31 @@ fn parallel_reach(
 /// per worker, reduce. Falsification takes precedence over quota
 /// failure in a mixed round — a found intersection with bad is sound
 /// regardless of what other workers ran out of.
+#[allow(clippy::too_many_arguments)]
 fn drive_rounds(
     to_workers: &[Sender<ToWorker>],
     up_rx: &Receiver<(usize, FromWorker)>,
     workers: usize,
     max_iterations: usize,
     stats: &mut CheckStats,
+    budget: &mut Budget,
+    start_depth: usize,
+    window_vars: u32,
 ) -> BddEngineOutcome {
-    // Build barrier.
+    // Build barrier. The window→worker map (identical from every
+    // worker) is adopted for piece routing.
     let mut ok = true;
     let mut falsified = false;
+    let mut owner: Vec<usize> = Vec::new();
     for _ in 0..workers {
         let (_, msg) = up_rx.recv().expect("pobdd worker hung up during build");
         match msg {
-            FromWorker::Built { falsified0, ok: worker_ok } => {
+            FromWorker::Built { falsified0, ok: worker_ok, owner: map } => {
                 ok &= worker_ok;
                 falsified |= falsified0;
+                if owner.is_empty() {
+                    owner = map;
+                }
             }
             _ => unreachable!("build phase answers with Built"),
         }
@@ -390,7 +511,15 @@ fn drive_rounds(
         return BddEngineOutcome::ResourceOut;
     }
 
-    for depth in 1..=max_iterations {
+    for depth in start_depth + 1..=max_iterations {
+        if !budget.tick() {
+            if !budget.checkpoint_worthwhile() {
+                // Slot-cap handover: the scheduler discards any state,
+                // so skip the whole worker checkpoint protocol phase.
+                return BddEngineOutcome::Yielded;
+            }
+            return checkpoint_workers(to_workers, up_rx, workers, depth - 1, window_vars);
+        }
         // Phase A: images. Collect every worker's remote-destined pieces.
         for tx in to_workers {
             let _ = tx.send(ToWorker::Round);
@@ -410,13 +539,15 @@ fn drive_rounds(
         if !ok {
             return BddEngineOutcome::ResourceOut;
         }
-        // Route: destination window w is owned by worker w % workers.
-        // Sort each worker's inbox by (dst, src) so absorption order —
-        // and therefore node allocation — is schedule-independent.
+        // Route by the shared window→worker map (a longest-processing-
+        // time bin-pack over window cost estimates; see
+        // `assign_windows_lpt`). Sort each worker's inbox by (dst, src)
+        // so absorption order — and therefore node allocation — is
+        // schedule-independent.
         let mut inbox: Vec<Vec<RemotePiece>> = (0..workers).map(|_| Vec::new()).collect();
         for pieces in all_remote {
             for piece in pieces {
-                inbox[piece.0 % workers].push(piece);
+                inbox[owner[piece.0]].push(piece);
             }
         }
         for (wid, mut pieces) in inbox.into_iter().enumerate() {
@@ -453,16 +584,60 @@ fn drive_rounds(
     BddEngineOutcome::ResourceOut
 }
 
+/// Collects every worker's owned-window exports into one
+/// [`ReachCheckpoint`] after the budget suspended the run. If any
+/// worker cannot checkpoint (it died on a quota failure earlier), the
+/// run degrades to a plain resource-out — a partial checkpoint would
+/// resume unsoundly.
+fn checkpoint_workers(
+    to_workers: &[Sender<ToWorker>],
+    up_rx: &Receiver<(usize, FromWorker)>,
+    workers: usize,
+    depth: usize,
+    window_vars: u32,
+) -> BddEngineOutcome {
+    for tx in to_workers {
+        let _ = tx.send(ToWorker::Checkpoint);
+    }
+    let mut all_pieces: Vec<CheckpointPiece> = Vec::new();
+    let mut ok = true;
+    for _ in 0..workers {
+        let (_, msg) = up_rx.recv().expect("pobdd worker hung up during checkpoint");
+        match msg {
+            FromWorker::Checkpointed { pieces, ok: worker_ok } => {
+                ok &= worker_ok;
+                all_pieces.extend(pieces);
+            }
+            _ => unreachable!("checkpoint phase answers with Checkpointed"),
+        }
+    }
+    if !ok {
+        return BddEngineOutcome::ResourceOut;
+    }
+    all_pieces.sort_unstable_by_key(|(w, _, _)| *w);
+    let nparts = all_pieces.len();
+    debug_assert!(all_pieces.iter().enumerate().all(|(i, (w, _, _))| i == *w));
+    let mut reached = Vec::with_capacity(nparts);
+    let mut frontier = Vec::with_capacity(nparts);
+    for (_, r, f) in all_pieces {
+        reached.push(r);
+        frontier.push(f);
+    }
+    BddEngineOutcome::Suspended(ReachCheckpoint { depth, reached, frontier, window_vars })
+}
+
 /// Per-worker state for the threaded engine: a private transition
 /// system plus the reached/frontier slots of the owned windows.
 struct WindowWorker {
     ts: TransitionSystem,
     /// All window cubes (every worker can slice an image by any window).
     windows: Vec<NodeId>,
-    /// Window indices this worker owns (`w % workers == wid`).
+    /// Window indices this worker owns (per the shared LPT assignment).
     owned: Vec<usize>,
+    /// Window → owning worker, identical across workers (each derives
+    /// it from the same costs; see [`assign_windows_lpt`]).
+    owner: Vec<usize>,
     wid: usize,
-    workers: usize,
     reached: Vec<NodeId>,
     frontier: Vec<NodeId>,
     /// Own-destined pieces of the current round, held between the image
@@ -470,12 +645,14 @@ struct WindowWorker {
     local_pieces: Vec<(usize, usize, NodeId)>, // (dst, src, part)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn window_worker(
     aig: &Aig,
     wid: usize,
     workers: usize,
     window_vars: u32,
     node_quota: usize,
+    resume: Option<&ReachCheckpoint>,
     rx: &Receiver<ToWorker>,
     tx: &Sender<(usize, FromWorker)>,
 ) -> BddWorkerStats {
@@ -493,25 +670,34 @@ fn window_worker(
             allocated: e.total_allocated,
             quota_hit: true,
         })?;
-        worker_setup(ts, wid, workers, window_vars)
+        worker_setup(ts, wid, workers, window_vars, resume)
     }));
     let mut state = match setup {
         Ok(Ok(state)) => state,
         Ok(Err(stats)) => {
-            let _ = tx.send((wid, FromWorker::Built { falsified0: false, ok: false }));
+            let _ = tx.send((
+                wid,
+                FromWorker::Built { falsified0: false, ok: false, owner: Vec::new() },
+            ));
             drain_until_stop(wid, rx, tx);
             return stats;
         }
         Err(payload) => {
-            let _ = tx.send((wid, FromWorker::Built { falsified0: false, ok: false }));
+            let _ = tx.send((
+                wid,
+                FromWorker::Built { falsified0: false, ok: false, owner: Vec::new() },
+            ));
             drain_until_stop(wid, rx, tx);
             resume_unwind(payload);
         }
     };
     let mut quota_hit = false;
+    // A resumed run's depth-0 check already happened in the original
+    // session; re-checking the imported frontier would double-report.
+    let falsified0 = resume.is_none() && state.init_intersects_bad();
     let _ = tx.send((
         wid,
-        FromWorker::Built { falsified0: state.init_intersects_bad(), ok: true },
+        FromWorker::Built { falsified0, ok: true, owner: state.owner.clone() },
     ));
     let mut panic_payload = None;
     while let Ok(cmd) = rx.recv() {
@@ -546,6 +732,11 @@ fn window_worker(
                 drain_until_stop(wid, rx, tx);
                 break;
             }
+            ToWorker::Checkpoint => {
+                // Pure export: allocates nothing, cannot fail.
+                let pieces = state.checkpoint_pieces();
+                let _ = tx.send((wid, FromWorker::Checkpointed { pieces, ok: true }));
+            }
             ToWorker::Stop => break,
         }
     }
@@ -574,9 +765,56 @@ fn drain_until_stop(wid: usize, rx: &Receiver<ToWorker>, tx: &Sender<(usize, Fro
                     FromWorker::Absorbed { any_new: false, falsified: false, ok: false },
                 ));
             }
+            ToWorker::Checkpoint => {
+                let _ = tx.send((wid, FromWorker::Checkpointed { pieces: Vec::new(), ok: false }));
+            }
             ToWorker::Stop => break,
         }
     }
+}
+
+/// Estimated per-window load: for each window cube, the node count
+/// every transition-relation cluster retains when the split variables
+/// are fixed to the window's polarity ([`veridic_bdd::BddManager::size_restricted`]
+/// — a pure traversal, no allocation). Windows that kill most of a
+/// cluster's nodes are cheap; windows that keep a cluster intact pay
+/// its full image cost every round. Deterministic for a given
+/// transition system, so every worker computes the identical vector.
+fn window_costs(ts: &TransitionSystem, split: &[u32], nparts: usize) -> Vec<u64> {
+    (0..nparts)
+        .map(|w| {
+            let fixed = |v: u32| -> Option<bool> {
+                split.iter().position(|&s| s == v).map(|bit| w >> bit & 1 == 1)
+            };
+            ts.clusters
+                .iter()
+                .map(|c| ts.mgr.size_restricted(*c, &fixed) as u64)
+                .sum()
+        })
+        .collect()
+}
+
+/// Longest-processing-time greedy bin-pack: windows sorted by cost
+/// (descending, ties by window index) are assigned one at a time to the
+/// least-loaded worker (ties to the lowest id). Replaces the old static
+/// round-robin (`w % workers`), which put the heaviest windows on the
+/// same worker whenever costs were skewed by position.
+///
+/// Fully deterministic, so every worker derives the identical map with
+/// no coordination; with all costs positive and at least as many
+/// windows as workers, every worker receives at least one window.
+/// Returns the window→worker map.
+fn assign_windows_lpt(costs: &[u64], workers: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_unstable_by(|&a, &b| costs[b].cmp(&costs[a]).then(a.cmp(&b)));
+    let mut owner = vec![0usize; costs.len()];
+    let mut load = vec![0u64; workers];
+    for w in order {
+        let wid = (0..workers).min_by_key(|&i| (load[i], i)).expect("workers >= 1");
+        load[wid] += costs[w];
+        owner[w] = wid;
+    }
+    owner
 }
 
 /// Builds one worker's window/reached/frontier state. On quota failure
@@ -587,39 +825,66 @@ fn worker_setup(
     wid: usize,
     workers: usize,
     window_vars: u32,
+    resume: Option<&ReachCheckpoint>,
 ) -> Result<WindowWorker, BddWorkerStats> {
     let fail = |ts: &TransitionSystem| BddWorkerStats {
         peak_live_nodes: ts.mgr.peak_live_nodes(),
         allocated: ts.mgr.total_allocated(),
         quota_hit: true,
     };
-    // Every worker derives the identical split from its identically
-    // built transition system — no coordination needed.
+    // Every worker derives the identical split, costs and assignment
+    // from its identically built transition system — no coordination
+    // needed.
     let split = choose_split_vars(&ts, window_vars);
     let windows = match build_windows(&mut ts, &split) {
         Ok(w) => w,
         Err(_) => return Err(fail(&ts)),
     };
     let nparts = windows.len();
-    let owned: Vec<usize> = (wid..nparts).step_by(workers).collect();
+    let owner = assign_windows_lpt(&window_costs(&ts, &split, nparts), workers);
+    let owned: Vec<usize> = (0..nparts).filter(|&w| owner[w] == wid).collect();
     let mut reached = vec![NodeId::FALSE; nparts];
     let mut frontier = vec![NodeId::FALSE; nparts];
-    for &w in &owned {
-        let part = match ts.mgr.and(ts.init, windows[w]) {
-            Ok(p) => p,
-            Err(_) => return Err(fail(&ts)),
-        };
-        ts.mgr.protect(part); // reached slot
-        ts.mgr.protect(part); // frontier slot
-        reached[w] = part;
-        frontier[w] = part;
+    match resume {
+        Some(ck) => {
+            assert_eq!(
+                ck.reached.len(),
+                nparts,
+                "checkpoint window count must match the re-derived split"
+            );
+            for &w in &owned {
+                // Imports arrive rooted — one registration per slot.
+                let r = match transfer::import(&ck.reached[w], &mut ts.mgr) {
+                    Ok(r) => r,
+                    Err(_) => return Err(fail(&ts)),
+                };
+                let f = match transfer::import(&ck.frontier[w], &mut ts.mgr) {
+                    Ok(f) => f,
+                    Err(_) => return Err(fail(&ts)),
+                };
+                reached[w] = r;
+                frontier[w] = f;
+            }
+        }
+        None => {
+            for &w in &owned {
+                let part = match ts.mgr.and(ts.init, windows[w]) {
+                    Ok(p) => p,
+                    Err(_) => return Err(fail(&ts)),
+                };
+                ts.mgr.protect(part); // reached slot
+                ts.mgr.protect(part); // frontier slot
+                reached[w] = part;
+                frontier[w] = part;
+            }
+        }
     }
     Ok(WindowWorker {
         ts,
         windows,
         owned,
+        owner,
         wid,
-        workers,
         reached,
         frontier,
         local_pieces: Vec::new(),
@@ -651,7 +916,7 @@ impl WindowWorker {
                 if part == NodeId::FALSE {
                     continue;
                 }
-                if dst % self.workers == self.wid {
+                if self.owner[dst] == self.wid {
                     self.ts.mgr.protect(part); // held until the absorb phase
                     self.local_pieces.push((dst, w, part));
                 } else {
@@ -697,6 +962,21 @@ impl WindowWorker {
             self.frontier[w] = new_frontier[w];
         }
         Ok((any_new, false))
+    }
+
+    /// Exports the owned windows' reached/frontier sets for a
+    /// [`ReachCheckpoint`]. Pure read — no allocation, cannot fail.
+    fn checkpoint_pieces(&self) -> Vec<CheckpointPiece> {
+        self.owned
+            .iter()
+            .map(|&w| {
+                (
+                    w,
+                    transfer::export(&self.ts.mgr, self.reached[w]),
+                    transfer::export(&self.ts.mgr, self.frontier[w]),
+                )
+            })
+            .collect()
     }
 }
 
@@ -885,6 +1165,111 @@ mod tests {
         let bad = g.and_many(nz);
         g.add_bad("zero", bad);
         g
+    }
+
+    /// The LPT bin-pack itself: heaviest window first, always onto the
+    /// least-loaded worker, deterministic tie-breaks (lower window
+    /// index sorts first, lower worker id wins load ties).
+    #[test]
+    fn lpt_assignment_balances_skewed_costs() {
+        // One dominant window: it gets a worker to itself, the three
+        // small ones share the other — round-robin would have paired
+        // the giant with a small one and idled half of worker 1.
+        assert_eq!(assign_windows_lpt(&[10, 1, 1, 1], 2), vec![0, 1, 1, 1]);
+        // Two heavies split across workers, lighter ones balance.
+        assert_eq!(assign_windows_lpt(&[8, 7, 3, 2], 2), vec![0, 1, 1, 0]);
+        // Uniform costs degenerate to round-robin-like fairness: every
+        // worker gets two of the four windows.
+        let owner = assign_windows_lpt(&[5, 5, 5, 5], 2);
+        assert_eq!(owner.iter().filter(|&&w| w == 0).count(), 2);
+        assert_eq!(owner.iter().filter(|&&w| w == 1).count(), 2);
+        // With positive costs and nparts >= workers, nobody idles.
+        let owner = assign_windows_lpt(&[9, 1, 1, 1, 1, 1, 1, 1], 3);
+        for wid in 0..3 {
+            assert!(owner.contains(&wid), "worker {wid} must own a window");
+        }
+        // Determinism: same input, same output.
+        assert_eq!(assign_windows_lpt(&[8, 7, 3, 2], 2), assign_windows_lpt(&[8, 7, 3, 2], 2));
+    }
+
+    /// Window costs come from the pure-read restricted-size walk and
+    /// must be positive and deterministic.
+    #[test]
+    fn window_costs_are_positive_and_deterministic() {
+        let g = counter_with_bad(4, 9);
+        let ts = TransitionSystem::build(&g, 1 << 16).unwrap();
+        let split = choose_split_vars(&ts, 2);
+        let nparts = 1 << split.len();
+        let c1 = window_costs(&ts, &split, nparts);
+        let c2 = window_costs(&ts, &split, nparts);
+        assert_eq!(c1, c2);
+        assert_eq!(c1.len(), nparts);
+        assert!(c1.iter().all(|&c| c > 0), "every window keeps at least the terminals: {c1:?}");
+    }
+
+    /// The load-balancing regression pin: with the LPT assignment the
+    /// threaded engine still reports verdicts, depths and iteration
+    /// counts identical to serial on a design with deliberately skewed
+    /// windows (an LFSR's windows differ in reached-set growth), for
+    /// every worker count.
+    #[test]
+    fn lpt_threaded_engine_stays_serial_identical() {
+        let g = lfsr16();
+        let mut serial = CheckStats::default();
+        let base = pobdd_reach(&g, 2, 1, 1 << 20, 40, &mut serial);
+        for workers in [2usize, 3, 4] {
+            let mut stats = CheckStats::default();
+            let got = pobdd_reach(&g, 2, workers, 1 << 20, 40, &mut stats);
+            assert_eq!(base, got, "workers={workers}");
+            assert_eq!(serial.iterations, stats.iterations, "workers={workers}");
+        }
+    }
+
+    /// Kill-at-round-k → resume equality for the POBDD engine, serial
+    /// and threaded: the resumed run must reach the identical outcome,
+    /// falsification depth and completed-round count, and a checkpoint
+    /// taken under one worker layout must resume under another.
+    #[test]
+    fn suspended_pobdd_resumes_identically() {
+        use crate::engine::Budget;
+        let g = counter_with_bad(5, 19);
+        let mut full = CheckStats::default();
+        let uninterrupted = pobdd_reach(&g, 2, 1, 1 << 20, 1000, &mut full);
+        assert_eq!(uninterrupted, BddEngineOutcome::FalsifiedAtDepth(19));
+        assert_eq!(full.iterations, 19);
+
+        for (kill_workers, resume_workers) in [(1usize, 1usize), (2, 2), (1, 3), (2, 1)] {
+            let mut s1 = CheckStats::default();
+            let mut budget = Budget::rounds(7);
+            let suspended = pobdd_reach_session(
+                &g, 2, kill_workers, 1 << 20, 1000, &mut s1, &mut budget, None,
+            );
+            let ck = match suspended {
+                BddEngineOutcome::Suspended(ck) => ck,
+                other => panic!("7 rounds must suspend, got {other:?}"),
+            };
+            assert_eq!(ck.depth, 7, "kill_workers={kill_workers}");
+            assert_eq!(ck.reached.len(), 4, "2 window vars -> 4 windows");
+            let mut s2 = CheckStats::default();
+            let resumed = pobdd_reach_session(
+                &g,
+                2,
+                resume_workers,
+                1 << 20,
+                1000,
+                &mut s2,
+                &mut Budget::unlimited(),
+                Some(&ck),
+            );
+            assert_eq!(
+                resumed, uninterrupted,
+                "kill={kill_workers} resume={resume_workers}"
+            );
+            assert_eq!(
+                s2.iterations, full.iterations,
+                "completed-round count must survive the kill (kill={kill_workers} resume={resume_workers})"
+            );
+        }
     }
 
     /// Regression for the cross-engine iteration-count off-by-one:

@@ -66,14 +66,17 @@ pub mod prelude {
         PropertyType, Scale, SpecCompliant, SpecialKind,
     };
     pub use veridic_core::checkpoint::{extract, Inventory};
-    pub use veridic_core::flow::{run_campaign, CampaignConfig, CampaignReport};
+    pub use veridic_core::flow::{
+        run_campaign, run_campaign_with_portfolio, CampaignConfig, CampaignReport,
+    };
     pub use veridic_core::impact::{
         area_report, category_increase, eco_replay, module_area, render_table4, CellCosts,
         TimingReport,
     };
     pub use veridic_core::partition::{
         cut_at, decomposition_is_acyclic, demo_chain_module, partition_output_integrity,
-        run_partition, run_partition_with_workers, PartitionWorkerStats,
+        run_partition, run_partition_with_portfolio, run_partition_with_workers,
+        PartitionWorkerStats,
     };
     pub use veridic_core::stereotype::{
         edetect_vunit, generate_all, integrity_vunit, other_vunit, soundness_vunit,
@@ -82,8 +85,10 @@ pub mod prelude {
         make_verifiable, transform_design, VerifiableModule, EC_PORT, ED_PORT,
     };
     pub use veridic_mc::{
-        check, check_one, pobdd_reach, BadCoiStats, BddWorkerStats, CheckOptions, CheckResult,
-        CheckStats, Verdict,
+        check, check_one, pobdd_reach, BadCoiStats, BddWorkerStats, Budget, CancelToken,
+        CheckOptions, CheckOptionsBuilder, CheckResult, CheckStats, Engine, EngineCheckpoint,
+        EngineCtx, EngineEvent, EngineId, EngineOutcome, EventOutcome, EventResources, Portfolio,
+        PortfolioOutcome, ReachCheckpoint, RunCheckpoint, Verdict,
     };
     pub use veridic_netlist::{Design, Expr, Module, NetId, PortDir, Value};
     pub use veridic_psl::{compile_vunit, parse_psl};

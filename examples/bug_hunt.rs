@@ -13,6 +13,7 @@ use veridic::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let chip = Chip::generate(&ChipConfig { scale: Scale::Small, with_bugs: true });
+    let portfolio = Portfolio::default();
     println!("{:<5} {:<28} {:<10} {:>14} {:>16}", "Bug", "Property type", "Formal", "Formal time", "Sim latency");
     for (module_name, bug) in chip.bugs() {
         let module = chip.design().module(&module_name).expect("module exists");
@@ -37,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             for (idx, (label, _)) in compiled.asserts.iter().enumerate() {
                 let mut stats = CheckStats::default();
                 if let Verdict::Falsified(trace) =
-                    check_one(&aig, idx, &CheckOptions::default(), &mut stats)
+                    portfolio.check_bad(&aig, idx, &CheckOptions::default(), &mut stats)
                 {
                     formal = Some((label.clone(), trace.len()));
                     break 'outer;

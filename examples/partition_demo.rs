@@ -17,16 +17,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let vm = make_verifiable(&module)?;
     println!("chain module: {stages} parity-propagating stages, {} latches", vm.module.state_bits());
 
-    let tight = CheckOptions {
-        bdd_nodes: 9_000,
-        sat_conflicts: 600,
-        bmc_depth: 3,
-        induction_depth: 3,
-        simple_path: false,
-        max_iterations: 200,
-        pobdd_window_vars: 0,
-        ..CheckOptions::default()
-    };
+    let tight = CheckOptions::builder()
+        .bdd_nodes(9_000)
+        .sat_conflicts(600)
+        .bmc_depth(3)
+        .induction_depth(3)
+        .simple_path(false)
+        .max_iterations(200)
+        .pobdd_window_vars(0)
+        .build();
 
     // Monolithic attempt.
     println!("\n--- monolithic check (tight budget) ---");
@@ -48,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Verdict::ResourceOut { reason } => println!("  resource-out as expected: {reason}"),
         other => println!("  unexpected verdict: {other:?}"),
     }
-    for line in &mono.stats.engines_tried {
+    for line in mono.stats.engines_tried() {
         println!("    engine: {line}");
     }
 

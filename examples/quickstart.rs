@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Compile and check everything.
     let vunits = generate_all(&vm)?;
-    let opts = CheckOptions::default();
+    // The builder form: identical to `CheckOptions::default()` here,
+    // but new knobs can be added without breaking this call site.
+    let opts = CheckOptions::builder().build();
+    let portfolio = Portfolio::default();
     let mut proved = 0usize;
     let mut total = 0usize;
     for (genu, compiled) in &vunits {
@@ -49,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         for (idx, (label, _)) in compiled.asserts.iter().enumerate() {
             let mut stats = CheckStats::default();
-            let verdict = check_one(&aig, idx, &opts, &mut stats);
+            let verdict = portfolio.check_bad(&aig, idx, &opts, &mut stats);
             total += 1;
             let tag = match &verdict {
                 Verdict::Proved { engine } => {

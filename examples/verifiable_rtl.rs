@@ -62,6 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // And verify them on the spot.
     let vunits = generate_all(&vm)?;
+    let portfolio = Portfolio::default();
     let mut proved = 0;
     let mut total = 0;
     for (_g, compiled) in &vunits {
@@ -76,7 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for idx in 0..compiled.asserts.len() {
             let mut stats = CheckStats::default();
             total += 1;
-            if check_one(&aig, idx, &CheckOptions::default(), &mut stats).is_proved() {
+            if portfolio.check_bad(&aig, idx, &CheckOptions::default(), &mut stats).is_proved() {
                 proved += 1;
             }
         }

@@ -21,15 +21,16 @@ fn sat_and_bdd_portfolios_agree_on_buggy_module() {
     let plans = build_plans(Scale::Small);
     let module = build_leaf(&plans[0], Some(BugId::B0));
     let vm = make_verifiable(&module).unwrap();
-    let sat_opts = CheckOptions { sat_only: true, ..CheckOptions::default() };
-    let bdd_opts = CheckOptions { bdd_only: true, ..CheckOptions::default() };
+    let portfolio = Portfolio::default();
+    let sat_opts = CheckOptions::builder().sat_only(true).build();
+    let bdd_opts = CheckOptions::builder().bdd_only(true).build();
     for (genu, compiled) in generate_all(&vm).unwrap() {
         let aig = aig_for(&compiled);
         for idx in 0..compiled.asserts.len() {
             let mut s1 = CheckStats::default();
             let mut s2 = CheckStats::default();
-            let v_sat = check_one(&aig, idx, &sat_opts, &mut s1);
-            let v_bdd = check_one(&aig, idx, &bdd_opts, &mut s2);
+            let v_sat = portfolio.check_bad(&aig, idx, &sat_opts, &mut s1);
+            let v_bdd = portfolio.check_bad(&aig, idx, &bdd_opts, &mut s2);
             match (&v_sat, &v_bdd) {
                 (Verdict::Proved { .. }, Verdict::Proved { .. }) => {}
                 (Verdict::Falsified(a), Verdict::Falsified(b)) => {
@@ -61,14 +62,10 @@ fn pobdd_agrees_with_monolithic_bdd_on_clean_module() {
         let aig = aig_for(&compiled);
         for idx in 0..compiled.asserts.len().min(3) {
             let mut s1 = CheckStats::default();
-            let generous = CheckOptions { bdd_only: true, ..CheckOptions::default() };
+            let generous = CheckOptions::builder().bdd_only(true).build();
             let v1 = check_one(&aig, idx, &generous, &mut s1);
             let mut s2 = CheckStats::default();
-            let pobdd = CheckOptions {
-                bdd_only: true,
-                pobdd_window_vars: 3,
-                ..CheckOptions::default()
-            };
+            let pobdd = CheckOptions::builder().bdd_only(true).pobdd_window_vars(3).build();
             let v2 = check_one(&aig, idx, &pobdd, &mut s2);
             assert_eq!(
                 v1.is_proved(),

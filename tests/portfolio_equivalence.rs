@@ -1,0 +1,272 @@
+//! The API-redesign safety net: `Portfolio::default()` must be
+//! verdict-, stats- and render-identical to the pre-redesign engine
+//! cascade (preserved verbatim as `veridic::mc::legacy`), and the
+//! checkpoint path must resume killed runs to identical results.
+//!
+//! Three layers:
+//! * a proptest over random small sequential designs,
+//! * a proptest over random chipgen leaf-module properties (the real
+//!   workload shape: stereotype vunits, assumes, multi-bad AIGs),
+//! * the full small-chip campaign, record by record, Table-2 rendering
+//!   included.
+
+use proptest::prelude::*;
+use veridic::mc::legacy;
+use veridic::prelude::*;
+
+/// Deep equality between the portfolio and the legacy cascade on one
+/// AIG: verdict, every deterministic statistic, and the rendered
+/// engine-log strings.
+fn assert_equivalent(aig: &Aig, opts: &CheckOptions, what: &str) {
+    let new = Portfolio::default().check(aig, opts);
+    let old = legacy::check(aig, opts);
+    assert_eq!(new.verdict, old.verdict, "verdict diverged on {what}");
+    assert_eq!(
+        new.stats.engines_tried(),
+        old.engines_tried,
+        "engine-log rendering diverged on {what}"
+    );
+    assert_eq!(new.stats.per_bad_coi, old.stats.per_bad_coi, "per-bad COI diverged on {what}");
+    assert_eq!(new.stats.coi_latches, old.stats.coi_latches, "{what}");
+    assert_eq!(new.stats.coi_ands, old.stats.coi_ands, "{what}");
+    assert_eq!(new.stats.bdd_nodes, old.stats.bdd_nodes, "peak nodes diverged on {what}");
+    assert_eq!(new.stats.bdd_allocated, old.stats.bdd_allocated, "allocations diverged on {what}");
+    assert_eq!(new.stats.bdd_quota_hits, old.stats.bdd_quota_hits, "{what}");
+    assert_eq!(new.stats.sat_conflicts, old.stats.sat_conflicts, "conflicts diverged on {what}");
+    assert_eq!(new.stats.iterations, old.stats.iterations, "iterations diverged on {what}");
+    assert_eq!(new.stats.worker_bdd, old.stats.worker_bdd, "worker stats diverged on {what}");
+}
+
+// ---------------------------------------------------------------------
+// Random small sequential designs.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum Design {
+    Counter { bits: u32, bad_at: u64 },
+    ShiftXor { bits: u32, taps: u64, bad_mask: u64 },
+    Stuck { bits: u32 },
+}
+
+fn build(design: &Design) -> Aig {
+    let mut g = Aig::new();
+    let counter = |g: &mut Aig, bits: u32| -> Vec<veridic::aig::Lit> {
+        let qs: Vec<_> = (0..bits).map(|i| g.latch(format!("c{i}"), false)).collect();
+        let mut carry = veridic::aig::Lit::TRUE;
+        for (id, q) in &qs {
+            let next = g.xor(*q, carry);
+            carry = g.and(*q, carry);
+            g.set_next(*id, next);
+        }
+        qs.into_iter().map(|(_, q)| q).collect()
+    };
+    let state_match = |g: &mut Aig, qs: &[veridic::aig::Lit], mask: u64| {
+        let hit: Vec<_> = qs
+            .iter()
+            .enumerate()
+            .map(|(i, q)| if mask >> i & 1 == 1 { *q } else { !*q })
+            .collect();
+        g.and_many(hit)
+    };
+    match design {
+        Design::Counter { bits, bad_at } => {
+            let qs = counter(&mut g, *bits);
+            let bad = state_match(&mut g, &qs, bad_at & ((1 << bits) - 1));
+            g.add_bad("count_hit", bad);
+        }
+        Design::ShiftXor { bits, taps, bad_mask } => {
+            let bits = *bits as usize;
+            let qs: Vec<_> = (0..bits).map(|i| g.latch(format!("s{i}"), i == 0)).collect();
+            let mut fb = qs[bits - 1].1;
+            for (i, (_, q)) in qs.iter().enumerate().take(bits - 1) {
+                if taps >> i & 1 == 1 {
+                    fb = g.xor(fb, *q);
+                }
+            }
+            for i in (1..bits).rev() {
+                g.set_next(qs[i].0, qs[i - 1].1);
+            }
+            g.set_next(qs[0].0, fb);
+            let lits: Vec<_> = qs.iter().map(|(_, q)| *q).collect();
+            let bad = state_match(&mut g, &lits, bad_mask & ((1 << bits) - 1));
+            g.add_bad("state_hit", bad);
+        }
+        Design::Stuck { bits } => {
+            let qs = counter(&mut g, *bits);
+            let (l, s) = g.latch("stuck", false);
+            g.set_next(l, s);
+            // Entangle with the counter so the COI keeps it.
+            let full = state_match(&mut g, &qs, (1 << bits) - 1);
+            let bad = g.and(s, full);
+            g.add_bad("never", bad);
+        }
+    }
+    g
+}
+
+fn design_strategy() -> impl Strategy<Value = Design> {
+    prop_oneof![
+        (2u32..5, 0u64..32).prop_map(|(bits, bad_at)| Design::Counter { bits, bad_at }),
+        (3u32..6, 0u64..32, 0u64..64)
+            .prop_map(|(bits, taps, bad_mask)| Design::ShiftXor { bits, taps, bad_mask }),
+        (2u32..5, 0u64..1).prop_map(|(bits, _)| Design::Stuck { bits }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The tentpole equality contract on random designs, across the
+    /// option axes the default policy gates on.
+    #[test]
+    fn portfolio_matches_legacy_on_random_designs(
+        design in design_strategy(),
+        mode in 0u32..3,
+    ) {
+        let aig = build(&design);
+        let opts = match mode {
+            0 => CheckOptions::default(),
+            1 => CheckOptions::builder().bdd_only(true).build(),
+            _ => CheckOptions::builder().sat_only(true).build(),
+        };
+        assert_equivalent(&aig, &opts, &format!("{design:?} mode={mode}"));
+    }
+
+    /// The same contract on the real workload shape: a random chipgen
+    /// leaf module (from the clean or the bug-seeded chip), one of its
+    /// stereotype vunits, every assert of that vunit.
+    #[test]
+    fn portfolio_matches_legacy_on_chipgen_properties(
+        module_idx in 0usize..32,
+        bug_coin in 0u32..2,
+        vunit_idx in 0usize..4,
+    ) {
+        let with_bugs = bug_coin == 1;
+        let chip = Chip::generate(&ChipConfig { scale: Scale::Small, with_bugs });
+        let modules = chip.modules();
+        let mi = &modules[module_idx % modules.len()];
+        let module = chip.design().module(mi.name()).unwrap();
+        let vm = make_verifiable(module).unwrap();
+        let vunits = generate_all(&vm).unwrap();
+        let (_, compiled) = &vunits[vunit_idx % vunits.len()];
+        let lowered = compiled.module.to_aig().unwrap();
+        let mut aig = lowered.aig.clone();
+        for (label, net) in &compiled.asserts {
+            aig.add_bad(label.clone(), lowered.bit(*net, 0));
+        }
+        for (label, net) in &compiled.assumes {
+            aig.add_constraint(label.clone(), !lowered.bit(*net, 0));
+        }
+        assert_equivalent(&aig, &CheckOptions::default(), &format!(
+            "{}:{} with_bugs={with_bugs}", mi.name(), vunit_idx
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------
+// The full campaign.
+// ---------------------------------------------------------------------
+
+/// The acceptance criterion: the portfolio-driven campaign over the
+/// full (buggy) small chip is record-for-record identical to the legacy
+/// cascade — verdicts, stats, engine-log rendering, and the rendered
+/// Table 2.
+#[test]
+fn full_campaign_is_identical_to_legacy_cascade() {
+    let chip = Chip::generate(&ChipConfig { scale: Scale::Small, with_bugs: true });
+    let opts = CheckOptions::default();
+    let report = run_campaign(&chip, &CampaignConfig { check: opts.clone(), workers: 0 });
+
+    // Replay the campaign's exact check sequence through the legacy
+    // cascade and compare record by record.
+    let mut legacy_records = Vec::new();
+    for mi in chip.modules() {
+        let m = chip.design().module(mi.name()).unwrap();
+        let vm = make_verifiable(m).unwrap();
+        for (_g, compiled) in generate_all(&vm).unwrap() {
+            let lowered = compiled.module.to_aig().unwrap();
+            let mut aig = lowered.aig.clone();
+            for (label, net) in &compiled.asserts {
+                aig.add_bad(label.clone(), lowered.bit(*net, 0));
+            }
+            for (label, net) in &compiled.assumes {
+                aig.add_constraint(label.clone(), !lowered.bit(*net, 0));
+            }
+            for (idx, (label, _)) in compiled.asserts.iter().enumerate() {
+                let mut stats = CheckStats::default();
+                let mut engines = Vec::new();
+                let verdict = legacy::check_one(&aig, idx, &opts, &mut stats, &mut engines);
+                legacy_records.push((mi.name().to_string(), label.clone(), verdict, stats, engines));
+            }
+        }
+    }
+
+    assert_eq!(report.records.len(), legacy_records.len());
+    for (rec, (module, label, verdict, stats, engines)) in
+        report.records.iter().zip(&legacy_records)
+    {
+        let what = format!("{module}/{label}");
+        assert_eq!(&rec.module, module, "record order diverged at {what}");
+        assert_eq!(&rec.label, label, "record order diverged at {what}");
+        assert_eq!(&rec.verdict, verdict, "verdict diverged at {what}");
+        assert_eq!(&rec.stats.engines_tried(), engines, "engine log diverged at {what}");
+        assert_eq!(rec.stats.per_bad_coi, stats.per_bad_coi, "{what}");
+        assert_eq!(rec.stats.bdd_nodes, stats.bdd_nodes, "{what}");
+        assert_eq!(rec.stats.bdd_allocated, stats.bdd_allocated, "{what}");
+        assert_eq!(rec.stats.sat_conflicts, stats.sat_conflicts, "{what}");
+        assert_eq!(rec.stats.iterations, stats.iterations, "{what}");
+        assert_eq!(rec.stats.worker_bdd, stats.worker_bdd, "{what}");
+    }
+
+    // Table-2 rendering: swap the legacy verdicts into a clone of the
+    // report and require byte-identical text.
+    let mut legacy_report = report.clone();
+    for (rec, (_, _, verdict, stats, _)) in
+        legacy_report.records.iter_mut().zip(legacy_records)
+    {
+        rec.verdict = verdict;
+        rec.stats = stats;
+    }
+    assert_eq!(report.render_table2(&chip), legacy_report.render_table2(&chip));
+}
+
+// ---------------------------------------------------------------------
+// Kill → resume through the public facade.
+// ---------------------------------------------------------------------
+
+/// A BDD reachability run killed mid-fixpoint resumes — through the
+/// prelude-exported API — to the identical verdict, falsification
+/// depth and completed-round count.
+#[test]
+fn killed_reachability_resumes_identically_via_facade() {
+    let mut g = Aig::new();
+    let qs: Vec<_> = (0..6).map(|i| g.latch(format!("c{i}"), false)).collect();
+    let mut carry = veridic::aig::Lit::TRUE;
+    for (id, q) in &qs {
+        let next = g.xor(*q, carry);
+        carry = g.and(*q, carry);
+        g.set_next(*id, next);
+    }
+    let hit: Vec<_> = (0..6).map(|i| if 44 >> i & 1 == 1 { qs[i].1 } else { !qs[i].1 }).collect();
+    let bad = g.and_many(hit);
+    g.add_bad("count_is_44", bad);
+
+    let opts = CheckOptions::builder().bdd_only(true).pobdd_window_vars(0).build();
+    let portfolio = Portfolio::default();
+    let uninterrupted = portfolio.check(&g, &opts);
+
+    let checkpoint = portfolio
+        .run_with_budget(&g, &opts, &mut Budget::rounds(15))
+        .into_checkpoint()
+        .expect("15 rounds cannot reach depth 44");
+    let resumed = match portfolio.resume(&g, &opts, checkpoint) {
+        PortfolioOutcome::Done(r) => r,
+        PortfolioOutcome::Suspended(_) => panic!("unbudgeted resume concludes"),
+    };
+    assert_eq!(resumed.verdict, uninterrupted.verdict);
+    match (&resumed.verdict, &uninterrupted.verdict) {
+        (Verdict::Falsified(a), Verdict::Falsified(b)) => assert_eq!(a.len(), b.len()),
+        other => panic!("expected falsifications, got {other:?}"),
+    }
+    assert_eq!(resumed.stats.iterations, uninterrupted.stats.iterations);
+}
