@@ -124,15 +124,19 @@ const TERMINAL_VAR: u32 = u32::MAX;
 pub struct BddManager {
     pub(crate) nodes: Vec<Node>,
     pub(crate) unique: FxHashMap<(u32, NodeId, NodeId), NodeId>,
-    pub(crate) ite_cache: FxHashMap<(NodeId, NodeId, NodeId), NodeId>,
-    pub(crate) exists_cache: FxHashMap<(NodeId, NodeId), NodeId>,
-    pub(crate) and_exists_cache: FxHashMap<(NodeId, NodeId, NodeId), NodeId>,
-    pub(crate) rename_cache: FxHashMap<(NodeId, u64), NodeId>,
-    pub(crate) and_cache: FxHashMap<(NodeId, NodeId), NodeId>,
+    pub(crate) ite_cache: FxHashMap<(NodeId, NodeId, NodeId), (NodeId, u32)>,
+    pub(crate) exists_cache: FxHashMap<(NodeId, NodeId), (NodeId, u32)>,
+    pub(crate) and_exists_cache: FxHashMap<(NodeId, NodeId, NodeId), (NodeId, u32)>,
+    pub(crate) rename_cache: FxHashMap<(NodeId, u64), (NodeId, u32)>,
+    pub(crate) and_cache: FxHashMap<(NodeId, NodeId), (NodeId, u32)>,
     /// Reusable work stack of the iterative ITE (empty between calls).
     pub(crate) ite_tasks: Vec<crate::ops::IteFrame>,
     /// Reusable result stack of the iterative ITE (empty between calls).
     pub(crate) ite_results: Vec<NodeId>,
+    /// Collection counter; op-cache entries are stamped with it on
+    /// insert (and re-stamped on hit), so the cache-aging sweep can
+    /// tell entries untouched for N collections from hot ones.
+    pub(crate) cache_epoch: u32,
     /// Recycled node-table slots available for reuse by `mk`.
     free_list: Vec<u32>,
     /// External references: node index → reference count.
@@ -141,6 +145,18 @@ pub struct BddManager {
     peak_live: usize,
     total_allocated: u64,
     total_freed: u64,
+    /// Live-node count at the end of the last collection; baseline for
+    /// the growth-threshold heuristic.
+    last_gc_live: usize,
+    /// If set, collect whenever the live count has grown by this many
+    /// nodes since the last collection (checked at operation entry, a
+    /// safe point). `None` (the default) keeps the historical
+    /// quota-pressure-only policy.
+    gc_growth_threshold: Option<usize>,
+    /// If set, the sweep after each collection also evicts op-cache
+    /// entries not touched for more than this many collections.
+    /// `None` (the default) keeps entries until a referenced node dies.
+    cache_max_age: Option<u32>,
 }
 
 impl BddManager {
@@ -156,13 +172,48 @@ impl BddManager {
             and_cache: FxHashMap::default(),
             ite_tasks: Vec::new(),
             ite_results: Vec::new(),
+            cache_epoch: 0,
             free_list: Vec::new(),
             roots: FxHashMap::default(),
             max_nodes,
             peak_live: 1,
             total_allocated: 0,
             total_freed: 0,
+            last_gc_live: 1,
+            gc_growth_threshold: None,
+            cache_max_age: None,
         }
+    }
+
+    /// Enables (or disables, with `None`) table-growth-threshold
+    /// collection: once armed, the manager collects whenever the live
+    /// count has grown by `threshold` nodes since the last collection,
+    /// checked at operation entry — a safe point, since operands are
+    /// rooted for the operation and anything else the caller holds must
+    /// already be protected. Like quota-pressure collection this only
+    /// fires once a root set exists.
+    ///
+    /// The point is steady-state hygiene for long-lived workers: with
+    /// quota-pressure-only collection a worker first fills its entire
+    /// quota with garbage, then pays one huge collect-and-retry per
+    /// operation at the ceiling. A growth threshold keeps the dead
+    /// fraction bounded instead.
+    pub fn set_gc_growth_threshold(&mut self, threshold: Option<usize>) {
+        self.gc_growth_threshold = threshold;
+    }
+
+    /// Enables (or disables, with `None`) cache-aged sweeping: each
+    /// collection evicts op-cache entries not inserted or hit for more
+    /// than `age` collections (in addition to the usual eviction of
+    /// entries mentioning dead nodes). `Some(0)` clears the op caches
+    /// wholesale at every collection.
+    ///
+    /// Aged entries pin no nodes (the sweep already drops dead-node
+    /// entries) but do cost memory and hash-table pressure; workers
+    /// that run many images through one manager use this to keep the
+    /// caches sized to the current wavefront.
+    pub fn set_cache_max_age(&mut self, age: Option<u32>) {
+        self.cache_max_age = age;
     }
 
     /// Number of **live** nodes (including the terminal): allocated slots
@@ -220,6 +271,15 @@ impl BddManager {
     /// needs the stored edges rather than the tag-adjusted cofactors).
     pub(crate) fn node(&self, index: u32) -> Node {
         self.nodes[index as usize]
+    }
+
+    /// Pure-read unique-table probe: the regular edge of the node
+    /// `(var, lo, hi)` if the manager currently holds it, else `None`.
+    /// `hi` must be regular (the canonical stored form). The delta
+    /// exporter uses this to recognize baseline nodes in the source
+    /// manager without allocating.
+    pub(crate) fn lookup(&self, var: u32, lo: NodeId, hi: NodeId) -> Option<NodeId> {
+        self.unique.get(&(var, lo, hi)).copied()
     }
 
     /// The reduced node `(var, lo, hi)`; applies the redundancy rule, the
@@ -345,18 +405,44 @@ impl BddManager {
                 freed += 1;
             }
         }
-        if freed > 0 {
-            self.total_freed += freed as u64;
+        self.total_freed += freed as u64;
+        self.cache_epoch = self.cache_epoch.wrapping_add(1);
+        let epoch = self.cache_epoch;
+        let max_age = self.cache_max_age;
+        if freed > 0 || max_age.is_some() {
             let live = |id: NodeId| marked[id.index() as usize];
-            self.ite_cache
-                .retain(|&(f, g, h), r| live(f) && live(g) && live(h) && live(*r));
-            self.and_cache.retain(|&(f, g), r| live(f) && live(g) && live(*r));
-            self.exists_cache.retain(|&(f, c), r| live(f) && live(c) && live(*r));
-            self.and_exists_cache
-                .retain(|&(f, g, c), r| live(f) && live(g) && live(c) && live(*r));
-            self.rename_cache.retain(|&(f, _), r| live(f) && live(*r));
+            self.retain_op_caches(&mut |key, r, stamp| {
+                key.iter().all(|&k| live(k))
+                    && live(r)
+                    && max_age.map_or(true, |a| epoch.wrapping_sub(stamp) <= a)
+            });
         }
+        self.last_gc_live = self.nodes.len() - self.free_list.len();
         freed
+    }
+
+    /// The one enumeration of the five op caches: retains entries for
+    /// which `keep(key-nodes, result, age-stamp)` holds. The GC sweep
+    /// (liveness + age) and [`BddManager::clear_op_caches`] both go
+    /// through here, so a cache added later cannot be missed by one of
+    /// them. The `rename` cache passes only its function operand (its
+    /// second key component is a map hash, not a node).
+    pub(crate) fn retain_op_caches(
+        &mut self,
+        keep: &mut dyn FnMut(&[NodeId], NodeId, u32) -> bool,
+    ) {
+        self.ite_cache.retain(|&(f, g, h), &mut (r, s)| keep(&[f, g, h], r, s));
+        self.and_cache.retain(|&(f, g), &mut (r, s)| keep(&[f, g], r, s));
+        self.exists_cache.retain(|&(f, c), &mut (r, s)| keep(&[f, c], r, s));
+        self.and_exists_cache.retain(|&(f, g, c), &mut (r, s)| keep(&[f, g, c], r, s));
+        self.rename_cache.retain(|&(f, _), &mut (r, s)| keep(&[f], r, s));
+    }
+
+    /// Drops every computed-cache entry (keeps the node table). This is
+    /// the deduplicated "clear them all" the sweep and
+    /// [`BddManager::clear_caches`] share.
+    pub fn clear_op_caches(&mut self) {
+        self.retain_op_caches(&mut |_, _, _| false);
     }
 
     /// Runs `op`; on quota exhaustion, garbage-collects (with `temps` as
@@ -379,6 +465,17 @@ impl BddManager {
         temps: &[NodeId],
         mut op: impl FnMut(&mut Self) -> Result<T, OutOfNodes>,
     ) -> Result<T, OutOfNodes> {
+        // Growth-threshold heuristic: operation entry is a safe point
+        // (operands are in `temps`, everything else the caller holds is
+        // protected by contract), so collect proactively when the table
+        // has grown past the configured threshold since the last sweep.
+        if let Some(t) = self.gc_growth_threshold {
+            if !self.roots.is_empty()
+                && self.nodes.len() - self.free_list.len() >= self.last_gc_live.saturating_add(t)
+            {
+                self.gc_with_temps(temps);
+            }
+        }
         let allocated_before = self.total_allocated;
         match op(self) {
             Err(e) => {
@@ -481,11 +578,7 @@ impl BddManager {
     /// Clears the computed caches (keeps the node table). Useful between
     /// phases with different operand distributions.
     pub fn clear_caches(&mut self) {
-        self.ite_cache.clear();
-        self.exists_cache.clear();
-        self.and_exists_cache.clear();
-        self.rename_cache.clear();
-        self.and_cache.clear();
+        self.clear_op_caches();
     }
 
     /// Number of satisfying assignments of `f` over `nvars` variables
@@ -680,6 +773,139 @@ mod tests {
         }
         assert!(overflowed, "tiny quota must overflow without roots");
         assert_eq!(m.total_freed(), 0, "no GC without a root set");
+    }
+
+    /// Builds a chain of immediately-dropped xors over `vars`, leaving
+    /// `count` dead cones behind (roots only on the vars themselves).
+    fn churn(m: &mut BddManager, vars: &[NodeId], count: usize) {
+        for i in 0..count {
+            let junk = m.xor(vars[i % vars.len()], vars[(i + 1) % vars.len()]).unwrap();
+            let j2 = m.xor(junk, vars[(i + 2) % vars.len()]).unwrap();
+            let _ = j2; // dropped: garbage once the op returns
+        }
+    }
+
+    #[test]
+    fn growth_threshold_collects_without_quota_pressure() {
+        // Generous quota: the historical policy would never collect.
+        let mut m = BddManager::new(1 << 16);
+        let vars: Vec<NodeId> = (0..8).map(|v| m.var(v).unwrap()).collect();
+        for &v in &vars {
+            m.protect(v);
+        }
+        m.set_gc_growth_threshold(Some(16));
+        churn(&mut m, &vars, 64);
+        assert!(m.total_freed() > 0, "growth threshold must trigger collection");
+        // The live set stays near the rooted cone, far from the garbage total.
+        assert!(m.num_nodes() < m.total_allocated() as usize);
+        for &v in &vars {
+            assert!(m.eval(v, &|x| x == m.var_of(v)), "roots survive threshold GC");
+        }
+    }
+
+    #[test]
+    fn growth_threshold_does_not_fire_below_threshold() {
+        let mut m = BddManager::new(1 << 16);
+        let a = m.var(0).unwrap();
+        let b = m.var(1).unwrap();
+        m.protect(a);
+        m.protect(b);
+        m.set_gc_growth_threshold(Some(1 << 10));
+        let x = m.xor(a, b).unwrap();
+        let _ = m.and(a, b).unwrap();
+        let _ = x;
+        assert_eq!(m.total_freed(), 0, "small growth must not collect");
+    }
+
+    #[test]
+    fn growth_threshold_stays_disarmed_without_roots() {
+        // Same safety valve as quota-pressure GC: no root set, no sweeps
+        // (the manager cannot tell held ids from garbage).
+        let mut m = BddManager::new(1 << 16);
+        let vars: Vec<NodeId> = (0..8).map(|v| m.var(v).unwrap()).collect();
+        m.set_gc_growth_threshold(Some(4));
+        churn(&mut m, &vars, 32);
+        assert_eq!(m.total_freed(), 0, "no GC without a root set");
+    }
+
+    #[test]
+    fn cache_aged_sweep_evicts_stale_entries_only() {
+        let mut m = BddManager::new(1 << 16);
+        let a = m.var(0).unwrap();
+        let b = m.var(1).unwrap();
+        let c = m.var(2).unwrap();
+        for &v in [a, b, c].iter() {
+            m.protect(v);
+        }
+        m.set_cache_max_age(Some(1));
+        let ab = m.and(a, b).unwrap();
+        m.protect(ab);
+        assert!(!m.and_cache.is_empty());
+        // One collection: age 1, within max_age — the entry survives.
+        m.gc();
+        assert!(
+            m.and_cache.contains_key(&(a.min(b), a.max(b))),
+            "entry within max_age survives the sweep"
+        );
+        // Touching the entry re-stamps it; an untouched second collection
+        // then ages it past the limit.
+        m.gc();
+        assert!(
+            !m.and_cache.contains_key(&(a.min(b), a.max(b))),
+            "entry two collections stale is evicted"
+        );
+        // Eviction is about the cache only: the function itself is rooted
+        // and still correct, and recomputing repopulates the cache.
+        assert!(m.eval(ab, &|_| true));
+        let ab2 = m.and(a, b).unwrap();
+        assert_eq!(ab2, ab, "hash-consing rebuilds the same node");
+        assert!(m.and_cache.contains_key(&(a.min(b), a.max(b))));
+    }
+
+    #[test]
+    fn cache_hits_refresh_the_age_stamp() {
+        let mut m = BddManager::new(1 << 16);
+        let a = m.var(0).unwrap();
+        let b = m.var(1).unwrap();
+        m.protect(a);
+        m.protect(b);
+        m.set_cache_max_age(Some(1));
+        let ab = m.and(a, b).unwrap();
+        m.protect(ab); // keep the result live so only aging could evict
+        m.gc(); // entry now one collection old
+        let _ = m.and(a, b).unwrap(); // hit: re-stamps to the current epoch
+        m.gc();
+        assert!(
+            m.and_cache.contains_key(&(a.min(b), a.max(b))),
+            "a hot entry must not age out"
+        );
+    }
+
+    #[test]
+    fn heuristics_keep_live_quota_semantics() {
+        // The quota still measures live nodes and peak_live still tracks
+        // the high-water mark when both heuristics are on.
+        let mut m = BddManager::new(64);
+        let vars: Vec<NodeId> = (0..6).map(|v| m.var(v).unwrap()).collect();
+        for &v in &vars {
+            m.protect(v);
+        }
+        m.set_gc_growth_threshold(Some(8));
+        m.set_cache_max_age(Some(0));
+        churn(&mut m, &vars, 48);
+        let mut acc = vars[0];
+        m.protect(acc);
+        for &v in &vars[1..] {
+            let a2 = m.and(acc, v).unwrap();
+            m.reroot(acc, a2);
+            acc = a2;
+        }
+        assert!(m.num_nodes() <= 64, "quota bounds live nodes");
+        assert!(m.peak_live_nodes() >= m.num_nodes());
+        assert!(m.peak_live_nodes() <= 64, "peak live cannot exceed the quota");
+        assert!(m.total_allocated() > m.peak_live_nodes() as u64, "churn exceeded the peak");
+        assert!(m.eval(acc, &|_| true));
+        assert!(!m.eval(acc, &|v| v != 3));
     }
 
     #[test]

@@ -147,7 +147,10 @@ impl BddManager {
                         }
                         Norm::Rec(f, g, h, neg) => (f, g, h, neg),
                     };
-                    if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+                    let epoch = self.cache_epoch;
+                    if let Some(e) = self.ite_cache.get_mut(&(f, g, h)) {
+                        e.1 = epoch;
+                        let r = e.0;
                         results.push(if neg { !r } else { r });
                         continue;
                     }
@@ -169,7 +172,7 @@ impl BddManager {
                     let lo = results.pop().expect("lo cofactor result");
                     match self.mk(v, lo, hi) {
                         Ok(r) => {
-                            self.ite_cache.insert(key, r);
+                            self.ite_cache.insert(key, (r, self.cache_epoch));
                             results.push(if neg { !r } else { r });
                         }
                         Err(e) => {
@@ -296,8 +299,10 @@ impl BddManager {
             return Ok(NodeId::FALSE);
         }
         let key = (f.min(g), f.max(g));
-        if let Some(&r) = self.and_cache.get(&key) {
-            return Ok(r);
+        let epoch = self.cache_epoch;
+        if let Some(e) = self.and_cache.get_mut(&key) {
+            e.1 = epoch;
+            return Ok(e.0);
         }
         let v = self.var_of(f).min(self.var_of(g));
         let (f0, f1) = self.cofactors(f, v);
@@ -305,7 +310,7 @@ impl BddManager {
         let lo = self.and_rec(f0, g0)?;
         let hi = self.and_rec(f1, g1)?;
         let r = self.mk(v, lo, hi)?;
-        self.and_cache.insert(key, r);
+        self.and_cache.insert(key, (r, self.cache_epoch));
         Ok(r)
     }
 
@@ -451,8 +456,10 @@ impl BddManager {
         if f.is_terminal() || cube == NodeId::TRUE {
             return Ok(f);
         }
-        if let Some(&r) = self.exists_cache.get(&(f, cube)) {
-            return Ok(r);
+        let epoch = self.cache_epoch;
+        if let Some(e) = self.exists_cache.get_mut(&(f, cube)) {
+            e.1 = epoch;
+            return Ok(e.0);
         }
         // Skip cube vars above f's top var.
         let fv = self.var_of(f);
@@ -474,7 +481,7 @@ impl BddManager {
             let hi = self.exists_rec(self.hi(f), c)?;
             self.mk(fv, lo, hi)?
         };
-        self.exists_cache.insert((f, cube), r);
+        self.exists_cache.insert((f, cube), (r, self.cache_epoch));
         Ok(r)
     }
 
@@ -522,8 +529,10 @@ impl BddManager {
             return self.and_rec(f, g);
         }
         let key = (f.min(g), f.max(g), cube);
-        if let Some(&r) = self.and_exists_cache.get(&key) {
-            return Ok(r);
+        let epoch = self.cache_epoch;
+        if let Some(e) = self.and_exists_cache.get_mut(&key) {
+            e.1 = epoch;
+            return Ok(e.0);
         }
         let fv = self.var_of(f);
         let gv = self.var_of(g);
@@ -551,7 +560,7 @@ impl BddManager {
             let hi = self.and_exists_rec(f1, g1, c)?;
             self.mk(v, lo, hi)?
         };
-        self.and_exists_cache.insert(key, r);
+        self.and_exists_cache.insert(key, (r, self.cache_epoch));
         Ok(r)
     }
 
@@ -604,8 +613,10 @@ impl BddManager {
         if f.is_complemented() {
             return Ok(!self.rename_rec(!f, map, map_hash)?);
         }
-        if let Some(&r) = self.rename_cache.get(&(f, map_hash)) {
-            return Ok(r);
+        let epoch = self.cache_epoch;
+        if let Some(e) = self.rename_cache.get_mut(&(f, map_hash)) {
+            e.1 = epoch;
+            return Ok(e.0);
         }
         let v = self.var_of(f);
         let nv = map
@@ -616,7 +627,7 @@ impl BddManager {
         let lo = self.rename_rec(self.lo(f), map, map_hash)?;
         let hi = self.rename_rec(self.hi(f), map, map_hash)?;
         let r = self.mk(nv, lo, hi)?;
-        self.rename_cache.insert((f, map_hash), r);
+        self.rename_cache.insert((f, map_hash), (r, self.cache_epoch));
         Ok(r)
     }
 

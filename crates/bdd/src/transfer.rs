@@ -211,6 +211,315 @@ pub fn import(exported: &ExportedBdd, dst: &mut BddManager) -> Result<NodeId, Ou
     out
 }
 
+/// A delta-encoded serialization of one BDD function against a
+/// previously-exported baseline: only the nodes *not* already present
+/// in the baseline's cone are shipped; everything shared is referenced
+/// by baseline slot. Produced by [`export_delta`], consumed by
+/// [`import_delta`] (which needs the same baseline on the receiving
+/// side).
+///
+/// Child references select a **combined slot space**: slots `0 ..
+/// baseline_len` are the baseline's node list, slots from
+/// `baseline_len` up are this delta's own nodes. Like [`ExportedBdd`]
+/// it owns plain data only and is `Send`; equality is structural.
+///
+/// This is the per-round traffic format of the multi-manager engines:
+/// successive frontiers overlap heavily (the new frontier is built
+/// from the old one's image), so shipping only the fresh cone cuts
+/// cross-manager traffic, and [`DeltaBdd::rebase`] lets both sides
+/// derive the next round's baseline from data they already share
+/// without a second transfer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeltaBdd {
+    /// Length of the baseline node list this delta's references assume.
+    baseline_len: usize,
+    /// The new nodes only; children precede parents, and child refs may
+    /// point into the baseline section of the combined slot space.
+    nodes: Vec<ExportedNode>,
+    root: SlotRef,
+}
+
+impl DeltaBdd {
+    /// Number of nodes actually shipped (the baseline-overlap savings:
+    /// a full [`export`] of the same function ships its whole cone).
+    pub fn delta_node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Length of the baseline node list this delta was encoded against;
+    /// [`import_delta`] and [`DeltaBdd::rebase`] require a baseline of
+    /// exactly this length.
+    pub fn baseline_len(&self) -> usize {
+        self.baseline_len
+    }
+
+    /// Splices the delta onto its baseline and compacts the result to
+    /// the root's cone, yielding a standalone [`ExportedBdd`] of the
+    /// delta-encoded function. Pure data transformation — no manager is
+    /// involved — and deterministic, so a sender and a receiver that
+    /// share `(baseline, delta)` derive byte-identical rebased exports;
+    /// that is how the chained-baseline scheme agrees on the next
+    /// round's baseline without shipping it. The compaction keeps the
+    /// combined slot order (children still precede parents, though the
+    /// list is no longer globally level-sorted like a fresh [`export`])
+    /// and drops unreachable baseline nodes, so the node count equals
+    /// the function's true cone size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baseline` is not of the length the delta was encoded
+    /// against.
+    pub fn rebase(&self, baseline: &ExportedBdd) -> ExportedBdd {
+        assert_eq!(
+            baseline.nodes.len(),
+            self.baseline_len,
+            "rebase against a baseline of the wrong shape"
+        );
+        let total = self.baseline_len + self.nodes.len();
+        let node_at = |k: usize| -> &ExportedNode {
+            if k < self.baseline_len {
+                &baseline.nodes[k]
+            } else {
+                &self.nodes[k - self.baseline_len]
+            }
+        };
+        let mut reachable = vec![false; total];
+        let mut stack = Vec::new();
+        if !self.root.is_terminal() {
+            stack.push(self.root.slot());
+        }
+        while let Some(k) = stack.pop() {
+            if reachable[k] {
+                continue;
+            }
+            reachable[k] = true;
+            let n = node_at(k);
+            for r in [n.lo, n.hi] {
+                if !r.is_terminal() {
+                    stack.push(r.slot());
+                }
+            }
+        }
+        // Children precede parents in the combined order (baseline refs
+        // stay inside the baseline; delta refs point backwards), so one
+        // ascending pass can renumber edges as it goes.
+        let mut new_slot = vec![usize::MAX; total];
+        let mut nodes = Vec::new();
+        for k in 0..total {
+            if !reachable[k] {
+                continue;
+            }
+            let n = node_at(k);
+            let tr = |r: SlotRef| -> SlotRef {
+                if r.is_terminal() {
+                    r
+                } else {
+                    SlotRef::to_slot(new_slot[r.slot()], r.is_complemented())
+                }
+            };
+            let moved = ExportedNode { var: n.var, lo: tr(n.lo), hi: tr(n.hi) };
+            new_slot[k] = nodes.len();
+            nodes.push(moved);
+        }
+        let root = if self.root.is_terminal() {
+            self.root
+        } else {
+            SlotRef::to_slot(new_slot[self.root.slot()], self.root.is_complemented())
+        };
+        ExportedBdd { nodes, root }
+    }
+}
+
+/// Serializes `f` as a delta against a previously-exported baseline
+/// cone: nodes of `f`'s cone that the baseline already carries are
+/// referenced by baseline slot instead of being shipped again.
+///
+/// Pure read, like [`export`]: allocates nothing in `src` and cannot
+/// fail. Baseline recognition is by structure — each baseline slot is
+/// resolved bottom-up against `src`'s unique table, and slots whose
+/// nodes no longer exist in `src` (or whose children don't) simply
+/// fail to match, degrading gracefully toward a full export (an empty
+/// or unrelated baseline yields a delta shipping the entire cone, and
+/// `export_delta(src, f, &export(src, f))` ships zero nodes).
+pub fn export_delta(src: &BddManager, f: NodeId, baseline: &ExportedBdd) -> DeltaBdd {
+    let b = baseline.nodes.len();
+    if f.is_terminal() {
+        return DeltaBdd { baseline_len: b, nodes: Vec::new(), root: SlotRef(f.0) };
+    }
+    // Forward pass: resolve baseline slots to src node ids where the
+    // structure still exists (children precede parents, so each slot
+    // only needs its children's resolutions).
+    let mut resolved: Vec<Option<NodeId>> = Vec::with_capacity(b);
+    let mut slot_of_index: FxHashMap<u32, usize> = FxHashMap::default();
+    for (k, n) in baseline.nodes.iter().enumerate() {
+        let child = |r: SlotRef| -> Option<NodeId> {
+            if r.is_terminal() {
+                Some(NodeId(r.0))
+            } else {
+                resolved[r.slot()].map(|id| if r.is_complemented() { !id } else { id })
+            }
+        };
+        let id = match (child(n.lo), child(n.hi)) {
+            (Some(lo), Some(hi)) => src.lookup(n.var, lo, hi),
+            _ => None,
+        };
+        if let Some(id) = id {
+            slot_of_index.insert(id.index(), k);
+        }
+        resolved.push(id);
+    }
+    // DFS of f's cone, stopping at baseline-matched nodes: only the
+    // fresh remainder is collected.
+    let mut indices: Vec<u32> = Vec::new();
+    let mut seen: FxHashMap<u32, usize> = FxHashMap::default();
+    if !slot_of_index.contains_key(&f.index()) {
+        let mut stack = vec![f.index()];
+        while let Some(i) = stack.pop() {
+            if seen.contains_key(&i) || slot_of_index.contains_key(&i) {
+                continue;
+            }
+            seen.insert(i, usize::MAX);
+            indices.push(i);
+            let node = src.node(i);
+            if !node.lo.is_terminal() {
+                stack.push(node.lo.index());
+            }
+            if !node.hi.is_terminal() {
+                stack.push(node.hi.index());
+            }
+        }
+    }
+    // Same deterministic layout rule as `export` for the shipped part.
+    indices.sort_unstable_by(|a, b| {
+        let (va, vb) = (src.node(*a).var, src.node(*b).var);
+        vb.cmp(&va).then(a.cmp(b))
+    });
+    for (slot, i) in indices.iter().enumerate() {
+        seen.insert(*i, slot);
+    }
+    let translate = |edge: NodeId| -> SlotRef {
+        if edge.is_terminal() {
+            SlotRef(edge.0)
+        } else if let Some(&k) = slot_of_index.get(&edge.index()) {
+            SlotRef::to_slot(k, edge.is_complemented())
+        } else {
+            SlotRef::to_slot(b + seen[&edge.index()], edge.is_complemented())
+        }
+    };
+    let nodes = indices
+        .iter()
+        .map(|i| {
+            let node = src.node(*i);
+            ExportedNode { var: node.var, lo: translate(node.lo), hi: translate(node.hi) }
+        })
+        .collect();
+    DeltaBdd { baseline_len: b, nodes, root: translate(f) }
+}
+
+/// Rebuilds a delta-encoded function inside `dst`, given the same
+/// baseline the delta was encoded against. Only the baseline nodes the
+/// delta actually references (transitively) are materialized — on the
+/// common path those already exist in `dst` from a previous import and
+/// hash-cons to the existing nodes.
+///
+/// Same contract as [`import`]: memoized per slot, and the returned
+/// root arrives **rooted** (one [`BddManager::protect`] registration
+/// the caller owns); intermediates are protected only for the duration
+/// of the call.
+///
+/// # Errors
+///
+/// Returns [`OutOfNodes`] if `dst`'s quota is exhausted even after
+/// garbage collection; no root registrations leak on this path.
+///
+/// # Panics
+///
+/// Panics if `baseline` is not of the length the delta was encoded
+/// against.
+pub fn import_delta(
+    delta: &DeltaBdd,
+    baseline: &ExportedBdd,
+    dst: &mut BddManager,
+) -> Result<NodeId, OutOfNodes> {
+    assert_eq!(
+        baseline.nodes.len(),
+        delta.baseline_len,
+        "import_delta against a baseline of the wrong shape"
+    );
+    let b = delta.baseline_len;
+    // Mark the baseline slots the delta needs, transitively. Reverse
+    // order makes one pass sufficient: a baseline parent is marked
+    // before its (earlier-slot) children are visited.
+    let mut needed = vec![false; b];
+    let mark = |needed: &mut Vec<bool>, r: SlotRef| {
+        if !r.is_terminal() && r.slot() < b {
+            needed[r.slot()] = true;
+        }
+    };
+    mark(&mut needed, delta.root);
+    for n in &delta.nodes {
+        mark(&mut needed, n.lo);
+        mark(&mut needed, n.hi);
+    }
+    for k in (0..b).rev() {
+        if needed[k] {
+            let n = baseline.nodes[k];
+            mark(&mut needed, n.lo);
+            mark(&mut needed, n.hi);
+        }
+    }
+    let resolve = |memo: &[Option<NodeId>], r: SlotRef| -> NodeId {
+        if r.is_terminal() {
+            NodeId(r.0)
+        } else {
+            let base = memo[r.slot()].expect("children precede parents");
+            if r.is_complemented() {
+                !base
+            } else {
+                base
+            }
+        }
+    };
+    let mut memo: Vec<Option<NodeId>> = vec![None; b + delta.nodes.len()];
+    let mut built: Vec<NodeId> = Vec::new();
+    let mut failed: Option<OutOfNodes> = None;
+    for k in 0..b + delta.nodes.len() {
+        let n = if k < b {
+            if !needed[k] {
+                continue;
+            }
+            baseline.nodes[k]
+        } else {
+            delta.nodes[k - b]
+        };
+        let lo = resolve(&memo, n.lo);
+        let hi = resolve(&memo, n.hi);
+        match dst.run_with_gc(&[lo, hi], |m| m.mk(n.var, lo, hi)) {
+            Ok(r) => {
+                dst.protect(r);
+                built.push(r);
+                memo[k] = Some(r);
+            }
+            Err(e) => {
+                failed = Some(e);
+                break;
+            }
+        }
+    }
+    let out = match failed {
+        None => {
+            let root = resolve(&memo, delta.root);
+            dst.protect(root);
+            Ok(root)
+        }
+        Some(e) => Err(e),
+    };
+    for r in &built {
+        dst.unprotect(*r);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,5 +639,188 @@ mod tests {
         let mut dst = BddManager::new(4);
         assert!(import(&e, &mut dst).is_err());
         assert_eq!(dst.num_roots(), 0, "failed import must unwind its roots");
+    }
+
+    /// Checks that importing `delta` against `baseline` into a fresh
+    /// manager yields the same node count and truth table as importing
+    /// the full export `full`.
+    fn assert_delta_matches_full(
+        delta: &DeltaBdd,
+        baseline: &ExportedBdd,
+        full: &ExportedBdd,
+        nvars: u32,
+    ) {
+        let mut dst = BddManager::new(1 << 16);
+        let via_full = import(full, &mut dst).unwrap();
+        let via_delta = import_delta(delta, baseline, &mut dst).unwrap();
+        assert_eq!(via_delta, via_full, "hash-consing must unify the two routes");
+        let rebased = delta.rebase(baseline);
+        assert_eq!(rebased.node_count(), full.node_count(), "compaction keeps the exact cone");
+        let via_rebased = import(&rebased, &mut dst).unwrap();
+        assert_eq!(via_rebased, via_full);
+        for asg in assignments(nvars) {
+            let assign = |v: u32| asg >> v & 1 == 1;
+            assert_eq!(dst.eval(via_delta, &assign), dst.eval(via_full, &assign));
+        }
+        dst.unprotect(via_full);
+        dst.unprotect(via_delta);
+        dst.unprotect(via_rebased);
+    }
+
+    #[test]
+    fn delta_against_own_export_ships_nothing() {
+        let mut src = BddManager::new(1 << 16);
+        let f = xor_chain(&mut src, &[0, 1, 2, 3]);
+        let baseline = export(&src, f);
+        let delta = export_delta(&src, f, &baseline);
+        assert_eq!(delta.delta_node_count(), 0, "identical cone: empty delta");
+        assert_delta_matches_full(&delta, &baseline, &baseline, 4);
+    }
+
+    #[test]
+    fn delta_ships_only_the_fresh_cone() {
+        let mut src = BddManager::new(1 << 16);
+        let f = xor_chain(&mut src, &[1, 2, 3]);
+        src.protect(f);
+        let baseline = export(&src, f);
+        // Grow the function: the old cone stays shared under the new top var.
+        let a = src.var(0).unwrap();
+        let g = src.or(f, a).unwrap();
+        src.protect(g);
+        let full = export(&src, g);
+        let delta = export_delta(&src, g, &baseline);
+        assert!(
+            delta.delta_node_count() < full.node_count() - 1,
+            "delta ({}) must beat the full cone ({})",
+            delta.delta_node_count(),
+            full.node_count() - 1
+        );
+        assert_delta_matches_full(&delta, &baseline, &full, 4);
+    }
+
+    #[test]
+    fn delta_against_disjoint_baseline_ships_everything() {
+        let mut src = BddManager::new(1 << 16);
+        let f = xor_chain(&mut src, &[0, 1]);
+        src.protect(f);
+        let other = xor_chain(&mut src, &[4, 5]);
+        src.protect(other);
+        let baseline = export(&src, other);
+        let full = export(&src, f);
+        let delta = export_delta(&src, f, &baseline);
+        assert_eq!(
+            delta.delta_node_count(),
+            full.node_count() - 1,
+            "disjoint cones share nothing but the terminal"
+        );
+        assert_delta_matches_full(&delta, &baseline, &full, 2);
+    }
+
+    #[test]
+    fn delta_of_constants_and_baseline_hits() {
+        let mut src = BddManager::new(1 << 16);
+        let f = xor_chain(&mut src, &[0, 1, 2]);
+        src.protect(f);
+        let baseline = export(&src, f);
+        // Terminal root: nothing shipped, terminal encoding preserved.
+        for c in [NodeId::TRUE, NodeId::FALSE] {
+            let d = export_delta(&src, c, &baseline);
+            assert_eq!(d.delta_node_count(), 0);
+            let mut dst = BddManager::new(16);
+            assert_eq!(import_delta(&d, &baseline, &mut dst).unwrap(), c);
+        }
+        // Complemented baseline hit: ¬f's cone is f's cone.
+        let d = export_delta(&src, !f, &baseline);
+        assert_eq!(d.delta_node_count(), 0, "¬f shares every node with f");
+        let mut dst = BddManager::new(1 << 16);
+        let g = import_delta(&d, &baseline, &mut dst).unwrap();
+        for asg in assignments(3) {
+            let assign = |v: u32| asg >> v & 1 == 1;
+            assert_eq!(dst.eval(g, &assign), src.eval(!f, &assign));
+        }
+    }
+
+    #[test]
+    fn delta_tolerates_a_collected_baseline() {
+        // Baseline nodes that no longer exist in src must simply fail to
+        // match (graceful degradation to a fuller delta), not corrupt
+        // the encoding.
+        let mut src = BddManager::new(1 << 16);
+        let dead = xor_chain(&mut src, &[0, 1, 2]);
+        let baseline = export(&src, dead);
+        src.protect(NodeId::TRUE); // arm GC without keeping `dead` alive
+        let keep = xor_chain(&mut src, &[3, 4]);
+        src.protect(keep);
+        src.gc(); // `dead`'s cone is gone from the unique table
+        let full = export(&src, keep);
+        let delta = export_delta(&src, keep, &baseline);
+        assert_eq!(delta.delta_node_count(), full.node_count() - 1);
+        assert_delta_matches_full(&delta, &baseline, &full, 5);
+    }
+
+    #[test]
+    fn import_delta_materializes_only_needed_baseline_nodes() {
+        let mut src = BddManager::new(1 << 16);
+        let f = xor_chain(&mut src, &[0, 1, 2, 3]);
+        src.protect(f);
+        let baseline = export(&src, f);
+        // A function referencing only the deep tail of the baseline.
+        let tail = xor_chain(&mut src, &[2, 3]);
+        src.protect(tail);
+        let delta = export_delta(&src, tail, &baseline);
+        let mut dst = BddManager::new(1 << 16);
+        let g = import_delta(&delta, &baseline, &mut dst).unwrap();
+        assert_eq!(
+            dst.num_nodes(),
+            src.size(tail),
+            "unreferenced baseline slots must not be materialized"
+        );
+        assert_eq!(dst.num_roots(), 1, "only the result registration remains");
+        for asg in assignments(4) {
+            let assign = |v: u32| asg >> v & 1 == 1;
+            assert_eq!(dst.eval(g, &assign), src.eval(tail, &assign));
+        }
+    }
+
+    #[test]
+    fn delta_quota_failure_leaks_no_roots() {
+        let mut src = BddManager::new(1 << 16);
+        let f = xor_chain(&mut src, &[0, 1, 2]);
+        src.protect(f);
+        let baseline = export(&src, f);
+        let big = xor_chain(&mut src, &[0, 1, 2, 3, 4, 5, 6, 7]);
+        let delta = export_delta(&src, big, &baseline);
+        let mut dst = BddManager::new(4);
+        assert!(import_delta(&delta, &baseline, &mut dst).is_err());
+        assert_eq!(dst.num_roots(), 0, "failed delta import must unwind its roots");
+    }
+
+    #[test]
+    fn chained_rebase_agrees_on_both_sides() {
+        // The multi-round scheme: baseline_{r+1} = delta_r.rebase(baseline_r)
+        // computed independently from shared data must be structurally
+        // identical on sender and receiver.
+        let mut src = BddManager::new(1 << 16);
+        let mut frontier = xor_chain(&mut src, &[8, 9]);
+        src.protect(frontier);
+        let mut baseline_sender = export(&src, frontier);
+        let mut baseline_receiver = baseline_sender.clone();
+        for round in 0..3u32 {
+            // Widen at the top (new var above the old cone): the old
+            // frontier stays shared node-for-node under the new root.
+            let v = src.var(7 - round).unwrap();
+            let next = src.or(frontier, v).unwrap();
+            src.reroot(frontier, next);
+            frontier = next;
+            let delta = export_delta(&src, frontier, &baseline_sender);
+            assert!(
+                delta.delta_node_count() < export(&src, frontier).node_count() - 1,
+                "successive frontiers must overlap"
+            );
+            baseline_sender = delta.rebase(&baseline_sender);
+            baseline_receiver = delta.rebase(&baseline_receiver);
+            assert_eq!(baseline_sender, baseline_receiver, "round {round}");
+            assert_eq!(baseline_sender.node_count(), src.size(frontier));
+        }
     }
 }

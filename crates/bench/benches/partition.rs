@@ -22,6 +22,7 @@ fn partition(c: &mut Criterion) {
     // so GC regressions (live peak creeping back toward nodes-ever-
     // allocated) are visible in review alongside the timings.
     let mono_peak = std::cell::Cell::new(0usize);
+    let mono_par_peak = std::cell::Cell::new(0usize);
     let part_gen_peak = std::cell::Cell::new(0usize);
     let part_tight_peak = std::cell::Cell::new(0usize);
     let part_par_workers = std::cell::RefCell::new(Vec::<PartitionWorkerStats>::new());
@@ -36,6 +37,20 @@ fn partition(c: &mut Criterion) {
             let r = check(&aig, &CheckOptions::default());
             assert!(!r.verdict.is_falsified());
             mono_peak.set(r.stats.bdd_nodes);
+            std::hint::black_box(r)
+        })
+    });
+    // The same monolithic check with the image computation fanned out
+    // across state-space lanes (2 workers, one private manager per
+    // lane). Verdict and round count are guaranteed identical to the
+    // serial run above; the wall-clock and peak-live deltas — smaller
+    // per-lane BDDs doing superlinear ops — are what this id tracks.
+    let mono_parallel = CheckOptions::builder().image_workers(2).build();
+    group.bench_function("monolithic_parallel", |b| {
+        b.iter(|| {
+            let r = check(&aig, &mono_parallel);
+            assert!(!r.verdict.is_falsified());
+            mono_par_peak.set(r.stats.bdd_nodes);
             std::hint::black_box(r)
         })
     });
@@ -78,6 +93,7 @@ fn partition(c: &mut Criterion) {
     group.finish();
 
     println!("fig7/monolithic_generous  peak_live {} nodes", mono_peak.get());
+    println!("fig7/monolithic_parallel  peak_live {} nodes", mono_par_peak.get());
     println!("fig7/partitioned_generous  peak_live {} nodes", part_gen_peak.get());
     println!("fig7/partitioned_tight  peak_live {} nodes", part_tight_peak.get());
     let workers = part_par_workers.borrow();

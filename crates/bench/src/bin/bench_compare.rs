@@ -5,23 +5,82 @@
 //!
 //! ```text
 //! CRITERION_ONE_SHOT=1 cargo bench -p veridic-bench | tee bench-out.txt
-//! cargo run --release -p veridic-bench --bin bench_compare -- bench-out.txt [BENCH_BASELINE.json]
+//! cargo run --release -p veridic-bench --bin bench_compare -- \
+//!     [--fail-on-regression <prefix>] bench-out.txt [BENCH_BASELINE.json]
 //! ```
 //!
-//! The comparison is advisory (always exits 0): one-shot samples on a
-//! shared CI worker are too noisy to gate on, but a consistent 2x swing
-//! across benches is exactly what a reviewer should see.
+//! The comparison is advisory by default (exits 0): one-shot samples on
+//! a shared CI worker are too noisy to gate every microbench on, but a
+//! consistent 2x swing across benches is exactly what a reviewer should
+//! see. `--fail-on-regression <prefix>` turns the report into a gate
+//! for the bench ids under that prefix: any such id more than 25%
+//! slower than its baseline — or missing from the run — fails the
+//! invocation with exit 1. CI gates `fig7/` this way: those runs are
+//! seconds-long fixpoints, far above one-shot noise.
 
 use std::collections::BTreeMap;
 
+/// The gate threshold: a prefix-matched bench id this much slower than
+/// its baseline fails a `--fail-on-regression` run.
+const GATE_THRESHOLD_PCT: f64 = 25.0;
+
+/// The `--fail-on-regression` verdicts: every baseline bench id under
+/// `prefix` that regressed past [`GATE_THRESHOLD_PCT`] or is absent
+/// from the current run, as human-readable lines. Empty means the gate
+/// passes.
+fn gate_failures(
+    baseline: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+    prefix: &str,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (name, base_s) in baseline {
+        if !name.starts_with(prefix) {
+            continue;
+        }
+        match current.get(name.as_str()) {
+            Some(cur_s) => {
+                let delta = (cur_s - base_s) / base_s * 100.0;
+                if delta > GATE_THRESHOLD_PCT {
+                    failures.push(format!(
+                        "{name}: {} -> {} ({delta:+.1}%, threshold +{GATE_THRESHOLD_PCT:.0}%)",
+                        fmt_secs(*base_s),
+                        fmt_secs(*cur_s)
+                    ));
+                }
+            }
+            None => failures.push(format!("{name}: missing from this run")),
+        }
+    }
+    failures
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let Some(out_path) = args.get(1) else {
-        eprintln!("usage: bench_compare <bench-output.txt> [BENCH_BASELINE.json]");
+    let mut fail_prefix: Option<String> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--fail-on-regression" {
+            match args.next() {
+                Some(p) => fail_prefix = Some(p),
+                None => {
+                    eprintln!("--fail-on-regression needs a bench-id prefix (e.g. fig7/)");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            positional.push(a);
+        }
+    }
+    let Some(out_path) = positional.first() else {
+        eprintln!(
+            "usage: bench_compare [--fail-on-regression <prefix>] \
+             <bench-output.txt> [BENCH_BASELINE.json]"
+        );
         std::process::exit(2);
     };
     let default_baseline = "BENCH_BASELINE.json".to_string();
-    let baseline_path = args.get(2).unwrap_or(&default_baseline);
+    let baseline_path = positional.get(1).unwrap_or(&default_baseline);
 
     let output = std::fs::read_to_string(out_path)
         .unwrap_or_else(|e| panic!("cannot read {out_path}: {e}"));
@@ -111,6 +170,23 @@ fn main() {
             if !node_baseline.contains_key(name) {
                 println!("{name:<42} (new; not in baseline)");
             }
+        }
+    }
+
+    if let Some(prefix) = &fail_prefix {
+        let failures = gate_failures(&baseline, &current, prefix);
+        println!();
+        if failures.is_empty() {
+            println!(
+                "Gate: no `{prefix}*` bench regressed more than \
+                 {GATE_THRESHOLD_PCT:.0}% vs baseline"
+            );
+        } else {
+            eprintln!("Gate FAILED: `{prefix}*` benches regressed vs baseline:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
         }
     }
 }
@@ -220,6 +296,29 @@ mod tests {
         // Node lines must not leak into the timing map.
         assert!(parse_bench_output(out).contains_key("some/bench"));
         assert!(!parse_bench_output(out).contains_key("fig7/partitioned_tight"));
+    }
+
+    #[test]
+    fn gate_flags_only_prefixed_regressions_and_missing_ids() {
+        let mut baseline = BTreeMap::new();
+        baseline.insert("fig7/monolithic_generous".to_string(), 10.0);
+        baseline.insert("fig7/partitioned_tight".to_string(), 1.0);
+        baseline.insert("fig7/gone".to_string(), 2.0);
+        baseline.insert("sat/php_5_4".to_string(), 0.1);
+        let mut current = BTreeMap::new();
+        current.insert("fig7/monolithic_generous".to_string(), 13.0); // +30%
+        current.insert("fig7/partitioned_tight".to_string(), 1.2); // +20%
+        current.insert("sat/php_5_4".to_string(), 10.0); // huge, but unprefixed
+
+        let failures = gate_failures(&baseline, &current, "fig7/");
+        assert_eq!(failures.len(), 2);
+        assert!(failures[0].starts_with("fig7/gone: missing"));
+        assert!(failures[1].starts_with("fig7/monolithic_generous:"));
+
+        // Within threshold on every present id -> only the missing one.
+        current.insert("fig7/monolithic_generous".to_string(), 12.0); // +20%
+        current.insert("fig7/gone".to_string(), 2.0);
+        assert!(gate_failures(&baseline, &current, "fig7/").is_empty());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! run resumes mid-fixpoint with an identical verdict, falsification
 //! depth and completed-round count.
 
-use veridic_bdd::transfer::ExportedBdd;
+use veridic_bdd::transfer::{DeltaBdd, ExportedBdd};
 
 /// Mid-fixpoint state of a BDD reachability engine (monolithic or
 /// partitioned): per-window reached and frontier sets at the end of a
@@ -18,6 +18,14 @@ use veridic_bdd::transfer::ExportedBdd;
 /// The monolithic engine has exactly one window; the POBDD engine one
 /// entry per window cube, indexed like its window list (which is
 /// deterministically re-derived from the AIG on resume).
+///
+/// The frontier is a subset of the reached set by construction (it is
+/// the states first reached in the last completed round), so its cone
+/// heavily overlaps the reached cone — each window's frontier is
+/// therefore stored as a [`DeltaBdd`] against the *same window's*
+/// `reached` export, shipping only the handful of nodes the frontier
+/// adds. Resume rebuilds it with
+/// [`veridic_bdd::transfer::import_delta`] over the paired baseline.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ReachCheckpoint {
     /// Completed reachability rounds at suspension (the next round to
@@ -25,8 +33,9 @@ pub struct ReachCheckpoint {
     pub depth: usize,
     /// Per-window reached sets.
     pub reached: Vec<ExportedBdd>,
-    /// Per-window frontiers.
-    pub frontier: Vec<ExportedBdd>,
+    /// Per-window frontiers, delta-encoded against the same window's
+    /// `reached` export.
+    pub frontier: Vec<DeltaBdd>,
     /// The window-variable count the partition was built with (0 for
     /// the monolithic engine); resume re-derives the same windows and
     /// verifies the count matches.

@@ -36,6 +36,16 @@ pub struct CheckOptions {
     /// `veridic-core`) without oversubscribing; raise it for single
     /// hard properties.
     pub pobdd_workers: usize,
+    /// Worker threads for the monolithic BDD engine's image computation:
+    /// each round's image fans out across fixed state-space lanes, one
+    /// private BDD manager per lane, with frontiers broadcast through
+    /// the transfer layer's delta encoding (verdicts, depths, iteration
+    /// counts match serial for every worker count; see
+    /// `veridic_mc::bdd_umc_session`). `0` = one per available CPU. The
+    /// default of `1` keeps the engine serial — byte-identical stats to
+    /// the pre-parallel engine — so it composes with campaign-level
+    /// parallelism without oversubscribing.
+    pub image_workers: usize,
     /// Skip the SAT engines (BDD-only portfolio).
     pub bdd_only: bool,
     /// Skip the BDD engines (SAT-only portfolio).
@@ -61,6 +71,7 @@ impl Default for CheckOptions {
             max_iterations: 10_000,
             pobdd_window_vars: 2,
             pobdd_workers: 1,
+            image_workers: 1,
             bdd_only: false,
             sat_only: false,
         }
@@ -145,6 +156,8 @@ impl CheckOptionsBuilder {
         pobdd_window_vars: u32,
         /// Sets [`CheckOptions::pobdd_workers`].
         pobdd_workers: usize,
+        /// Sets [`CheckOptions::image_workers`].
+        image_workers: usize,
         /// Sets [`CheckOptions::bdd_only`].
         bdd_only: bool,
         /// Sets [`CheckOptions::sat_only`].
@@ -186,6 +199,7 @@ mod tests {
         let tiny = CheckOptions::tiny_budget();
         let d = CheckOptions::default();
         assert_eq!(tiny.pobdd_workers, d.pobdd_workers);
+        assert_eq!(tiny.image_workers, d.image_workers);
         assert_eq!(tiny.bdd_only, d.bdd_only);
         assert_eq!(tiny.sat_only, d.sat_only);
         // And the recalibrated live-node quota: half the historical

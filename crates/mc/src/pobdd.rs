@@ -19,7 +19,7 @@ use crate::engine::Budget;
 use crate::{BddWorkerStats, CheckStats};
 use std::sync::mpsc::{Receiver, Sender};
 use veridic_aig::Aig;
-use veridic_bdd::transfer::{self, ExportedBdd};
+use veridic_bdd::transfer::{self, DeltaBdd, ExportedBdd};
 use veridic_bdd::{NodeId, OutOfNodes};
 
 /// Partitioned forward reachability with `window_vars` splitting
@@ -243,7 +243,8 @@ fn serial_run(
                 // Each import arrives rooted: exactly the registration
                 // the reached/frontier slot owns.
                 reached[w] = transfer::import(&ck.reached[w], &mut ts.mgr)?;
-                frontier[w] = transfer::import(&ck.frontier[w], &mut ts.mgr)?;
+                frontier[w] =
+                    transfer::import_delta(&ck.frontier[w], &ck.reached[w], &mut ts.mgr)?;
             }
             ck.depth
         }
@@ -272,11 +273,17 @@ fn serial_run(
             if !budget.checkpoint_worthwhile() {
                 return Ok(BddEngineOutcome::Yielded);
             }
-            let export_all = |v: &[NodeId]| v.iter().map(|&n| transfer::export(&ts.mgr, n)).collect();
+            let reached_exports: Vec<ExportedBdd> =
+                reached.iter().map(|&n| transfer::export(&ts.mgr, n)).collect();
+            let frontier_deltas = frontier
+                .iter()
+                .zip(&reached_exports)
+                .map(|(&f, base)| transfer::export_delta(&ts.mgr, f, base))
+                .collect();
             return Ok(BddEngineOutcome::Suspended(ReachCheckpoint {
                 depth: depth - 1,
-                reached: export_all(&reached),
-                frontier: export_all(&frontier),
+                reached: reached_exports,
+                frontier: frontier_deltas,
                 window_vars,
             }));
         }
@@ -357,7 +364,7 @@ fn build_windows(ts: &mut TransitionSystem, split: &[u32]) -> Result<Vec<NodeId>
 /// shrink any partition's reached set, and each padded variable would
 /// double the window count for nothing (regression-tested in
 /// `zero_occurrence_vars_are_not_split_on`).
-fn choose_split_vars(ts: &TransitionSystem, want: u32) -> Vec<u32> {
+pub(crate) fn choose_split_vars(ts: &TransitionSystem, want: u32) -> Vec<u32> {
     let n = ts.num_latches() as u32;
     let mut counts: Vec<(u32, usize)> = (0..n).map(|i| (2 * i, 0)).collect();
     for c in &ts.clusters {
@@ -384,8 +391,9 @@ fn choose_split_vars(ts: &TransitionSystem, want: u32) -> Vec<u32> {
 /// restricted to window `dst`, serialized for the destination manager.
 type RemotePiece = (usize, usize, ExportedBdd); // (dst, src, piece)
 
-/// One window's checkpoint piece: `(window, reached, frontier)`.
-type CheckpointPiece = (usize, ExportedBdd, ExportedBdd);
+/// One window's checkpoint piece: `(window, reached, frontier)` — the
+/// frontier delta-encoded against the same window's reached export.
+type CheckpointPiece = (usize, ExportedBdd, DeltaBdd);
 
 /// Coordinator → worker commands, one round at a time.
 enum ToWorker {
@@ -858,7 +866,8 @@ fn worker_setup(
                     Ok(r) => r,
                     Err(_) => return Err(fail(&ts)),
                 };
-                let f = match transfer::import(&ck.frontier[w], &mut ts.mgr) {
+                let f = match transfer::import_delta(&ck.frontier[w], &ck.reached[w], &mut ts.mgr)
+                {
                     Ok(f) => f,
                     Err(_) => return Err(fail(&ts)),
                 };
@@ -970,11 +979,9 @@ impl WindowWorker {
         self.owned
             .iter()
             .map(|&w| {
-                (
-                    w,
-                    transfer::export(&self.ts.mgr, self.reached[w]),
-                    transfer::export(&self.ts.mgr, self.frontier[w]),
-                )
+                let reached = transfer::export(&self.ts.mgr, self.reached[w]);
+                let frontier = transfer::export_delta(&self.ts.mgr, self.frontier[w], &reached);
+                (w, reached, frontier)
             })
             .collect()
     }

@@ -147,6 +147,7 @@ impl Engine for BddUmcEngine {
             ctx.aig,
             ctx.opts.bdd_nodes,
             ctx.opts.max_iterations,
+            ctx.opts.image_workers,
             ctx.stats,
             ctx.budget,
             resume,

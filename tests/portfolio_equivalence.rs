@@ -11,7 +11,7 @@
 //!   included.
 
 use proptest::prelude::*;
-use veridic::mc::legacy;
+use veridic::mc::{legacy, BddEngineOutcome};
 use veridic::prelude::*;
 
 /// Deep equality between the portfolio and the legacy cascade on one
@@ -234,11 +234,10 @@ fn full_campaign_is_identical_to_legacy_cascade() {
 // Kill → resume through the public facade.
 // ---------------------------------------------------------------------
 
-/// A BDD reachability run killed mid-fixpoint resumes — through the
-/// prelude-exported API — to the identical verdict, falsification
-/// depth and completed-round count.
-#[test]
-fn killed_reachability_resumes_identically_via_facade() {
+/// A 6-bit counter whose bad state is count == 44: a depth-44
+/// falsification no small round budget can reach, shared by the
+/// kill → resume tests.
+fn counter6_bad_at_44() -> Aig {
     let mut g = Aig::new();
     let qs: Vec<_> = (0..6).map(|i| g.latch(format!("c{i}"), false)).collect();
     let mut carry = veridic::aig::Lit::TRUE;
@@ -250,7 +249,15 @@ fn killed_reachability_resumes_identically_via_facade() {
     let hit: Vec<_> = (0..6).map(|i| if 44 >> i & 1 == 1 { qs[i].1 } else { !qs[i].1 }).collect();
     let bad = g.and_many(hit);
     g.add_bad("count_is_44", bad);
+    g
+}
 
+/// A BDD reachability run killed mid-fixpoint resumes — through the
+/// prelude-exported API — to the identical verdict, falsification
+/// depth and completed-round count.
+#[test]
+fn killed_reachability_resumes_identically_via_facade() {
+    let g = counter6_bad_at_44();
     let opts = CheckOptions::builder().bdd_only(true).pobdd_window_vars(0).build();
     let portfolio = Portfolio::default();
     let uninterrupted = portfolio.check(&g, &opts);
@@ -269,4 +276,167 @@ fn killed_reachability_resumes_identically_via_facade() {
         other => panic!("expected falsifications, got {other:?}"),
     }
     assert_eq!(resumed.stats.iterations, uninterrupted.stats.iterations);
+}
+
+/// The same kill → resume contract with the lane-parallel image
+/// engine: suspending broadcasts the frontier through the checkpoint's
+/// delta encoding, and the resumed run re-enters the parallel fan-out
+/// mid-fixpoint with an identical verdict and round count.
+#[test]
+fn killed_parallel_reachability_resumes_identically_via_facade() {
+    let g = counter6_bad_at_44();
+    let opts = CheckOptions::builder()
+        .bdd_only(true)
+        .pobdd_window_vars(0)
+        .image_workers(2)
+        .build();
+    let portfolio = Portfolio::default();
+    let uninterrupted = portfolio.check(&g, &opts);
+
+    let checkpoint = portfolio
+        .run_with_budget(&g, &opts, &mut Budget::rounds(15))
+        .into_checkpoint()
+        .expect("15 rounds cannot reach depth 44");
+    let resumed = match portfolio.resume(&g, &opts, checkpoint) {
+        PortfolioOutcome::Done(r) => r,
+        PortfolioOutcome::Suspended(_) => panic!("unbudgeted resume concludes"),
+    };
+    assert_eq!(resumed.verdict, uninterrupted.verdict);
+    match (&resumed.verdict, &uninterrupted.verdict) {
+        (Verdict::Falsified(a), Verdict::Falsified(b)) => assert_eq!(a.len(), b.len()),
+        other => panic!("expected falsifications, got {other:?}"),
+    }
+    assert_eq!(resumed.stats.iterations, uninterrupted.stats.iterations);
+}
+
+/// What the checkpoint actually ships: a suspended monolithic run's
+/// frontier is a [`veridic::bdd::DeltaBdd`] paired with the same
+/// window's reached export, and a session resumed from it — serially
+/// or through the parallel lanes — rebuilds the frontier via the delta
+/// path and concludes with the full run's verdict.
+#[test]
+fn monolithic_checkpoint_frontier_is_delta_encoded() {
+    let g = counter6_bad_at_44();
+    let mut stats = CheckStats::default();
+    let outcome = veridic::mc::bdd_umc_session(
+        &g,
+        1 << 20,
+        10_000,
+        1,
+        &mut stats,
+        &mut Budget::rounds(15),
+        None,
+    );
+    let ck = match outcome {
+        BddEngineOutcome::Suspended(ck) => ck,
+        other => panic!("expected a suspension, got {other:?}"),
+    };
+    assert_eq!(ck.depth, 15);
+    assert_eq!(ck.window_vars, 0);
+    assert_eq!((ck.reached.len(), ck.frontier.len()), (1, 1));
+    assert_eq!(
+        ck.frontier[0].baseline_len(),
+        ck.reached[0].node_count() - 1,
+        "the frontier delta must be encoded against this window's reached export"
+    );
+    // Resume through the delta path, both serially and into the
+    // parallel lane fan-out.
+    for workers in [1usize, 2] {
+        let mut s = CheckStats::default();
+        let resumed = veridic::mc::bdd_umc_session(
+            &g,
+            1 << 20,
+            10_000,
+            workers,
+            &mut s,
+            &mut Budget::unlimited(),
+            Some(&ck),
+        );
+        assert!(
+            matches!(resumed, BddEngineOutcome::FalsifiedAtDepth(44)),
+            "resume at workers={workers} must conclude at depth 44, got {resumed:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parallel image determinism through the facade.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The lane-parallel image contract end-to-end on the real workload
+    /// shape: for a random chipgen leaf property, the monolithic BDD
+    /// engine must report the same verdict (hence falsification depth)
+    /// and completed-round count for every `image_workers` value —
+    /// including auto — and every deterministic BDD statistic must
+    /// agree between the explicit parallel counts.
+    #[test]
+    fn parallel_image_matches_serial(
+        module_idx in 0usize..32,
+        bug_coin in 0u32..2,
+        vunit_idx in 0usize..4,
+    ) {
+        let with_bugs = bug_coin == 1;
+        let chip = Chip::generate(&ChipConfig { scale: Scale::Small, with_bugs });
+        let modules = chip.modules();
+        let mi = &modules[module_idx % modules.len()];
+        let module = chip.design().module(mi.name()).unwrap();
+        let vm = make_verifiable(module).unwrap();
+        let vunits = generate_all(&vm).unwrap();
+        let (_, compiled) = &vunits[vunit_idx % vunits.len()];
+        let lowered = compiled.module.to_aig().unwrap();
+        let mut aig = lowered.aig.clone();
+        for (label, net) in &compiled.asserts {
+            aig.add_bad(label.clone(), lowered.bit(*net, 0));
+        }
+        for (label, net) in &compiled.assumes {
+            aig.add_constraint(label.clone(), !lowered.bit(*net, 0));
+        }
+        let with_workers = |w: usize| {
+            CheckOptions::builder()
+                .bdd_only(true)
+                .pobdd_window_vars(0)
+                // Tight enough that the hardest properties resource out
+                // instead of dominating the suite — quota deaths must
+                // be worker-count-deterministic too.
+                .bdd_nodes(1 << 16)
+                .image_workers(w)
+                .build()
+        };
+        let what = format!("{}:{} with_bugs={}", mi.name(), vunit_idx, with_bugs);
+        let serial = Portfolio::default().check(&aig, &with_workers(1));
+        let mut parallel_stats = Vec::new();
+        // `0` resolves to the CPU count, so on a single-core host it is
+        // the serial path: it joins the verdict/round contract but not
+        // the lane-accounting comparison below.
+        for workers in [2usize, 3, 0] {
+            let got = Portfolio::default().check(&aig, &with_workers(workers));
+            prop_assert_eq!(
+                &serial.verdict, &got.verdict,
+                "verdict diverged at workers={} on {}", workers, &what
+            );
+            prop_assert_eq!(
+                serial.stats.iterations, got.stats.iterations,
+                "round count diverged at workers={} on {}", workers, &what
+            );
+            if workers != 0 {
+                parallel_stats.push(got.stats);
+            }
+        }
+        let (two, three) = (&parallel_stats[0], &parallel_stats[1]);
+        prop_assert_eq!(
+            two.bdd_nodes, three.bdd_nodes,
+            "peak live nodes diverged between parallel counts on {}", &what
+        );
+        prop_assert_eq!(
+            two.bdd_allocated, three.bdd_allocated,
+            "allocations diverged between parallel counts on {}", &what
+        );
+        prop_assert_eq!(
+            &two.worker_bdd, &three.worker_bdd,
+            "per-lane stats diverged between parallel counts on {}", &what
+        );
+    }
 }

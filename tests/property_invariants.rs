@@ -205,6 +205,95 @@ proptest! {
             let want = eval_tree(&trees[0], asg) && eval_tree(&trees[1], asg);
             prop_assert_eq!(m.eval(conj, &|v| asg >> v & 1 == 1), want);
         }
+        // Continue with the heuristic collectors armed as aggressively
+        // as they go — collect on any growth, evict cache entries the
+        // moment they age — which changes *when* sweeps happen (at
+        // every operation entry now), never what survives them. Under
+        // this regime every value held across an operation must be
+        // rooted (the engines' discipline; an unrooted intermediate is
+        // fair game at the very next op), so the churn here is a chain
+        // of individually-protected operations over the rooted roots.
+        m.set_gc_growth_threshold(Some(1));
+        m.set_cache_max_age(Some(0));
+        let conj2 = m.and(roots[1], roots[2]).unwrap();
+        m.protect(conj2);
+        let mix = m.xor(conj2, roots[0]).unwrap();
+        m.protect(mix);
+        for asg in 0..(1u32 << NVARS) {
+            let e: Vec<bool> = trees.iter().map(|t| eval_tree(t, asg)).collect();
+            let assign = |v: u32| asg >> v & 1 == 1;
+            prop_assert_eq!(
+                m.eval(conj2, &assign),
+                e[1] && e[2],
+                "ops must stay correct under heuristic GC, assignment {:05b}", asg
+            );
+            prop_assert_eq!(
+                m.eval(mix, &assign),
+                (e[1] && e[2]) ^ e[0],
+                "assignment {:05b}", asg
+            );
+        }
+        for (t, f) in trees.iter().zip(&roots) {
+            for asg in 0..(1u32 << NVARS) {
+                prop_assert_eq!(
+                    m.eval(*f, &|v| asg >> v & 1 == 1),
+                    eval_tree(t, asg),
+                    "root must survive heuristic GC, assignment {:05b}", asg
+                );
+            }
+        }
+    }
+
+    /// Baseline + delta must reconstruct exactly what a full export
+    /// reconstructs, for random function pairs: overlapping, identical
+    /// (empty delta), disjoint and constant cones all arise.
+    #[test]
+    fn delta_export_matches_full_export(
+        tb in bool_tree(NVARS),
+        tf in bool_tree(NVARS),
+    ) {
+        use veridic::bdd::transfer::{export, export_delta, import, import_delta};
+        use veridic::bdd::NodeId;
+        let mut src = BddManager::new(1 << 18);
+        let b = tree_to_bdd(&mut src, &tb);
+        src.protect(b);
+        let f = tree_to_bdd(&mut src, &tf);
+        src.protect(f);
+        let overlap = src.or(b, f).unwrap();
+        src.protect(overlap);
+        let baseline = export(&src, b);
+        // Identical-cone edge first: a delta of the baseline function
+        // against its own export ships zero nodes.
+        let own = export_delta(&src, b, &baseline);
+        prop_assert_eq!(own.delta_node_count(), 0, "identical cone must ship nothing");
+        for target in [f, overlap, b, NodeId::TRUE, NodeId::FALSE] {
+            let full = export(&src, target);
+            let delta = export_delta(&src, target, &baseline);
+            // Whatever sharing the delta found, it never ships more
+            // than the full cone.
+            prop_assert!(delta.delta_node_count() < full.node_count());
+            // Both routes into one destination manager must hash-cons
+            // to the same node (node-identical reconstruction), and the
+            // pure-data rebase must compact to exactly the full cone.
+            let mut dst = BddManager::new(1 << 18);
+            let via_full = import(&full, &mut dst).unwrap();
+            let via_delta = import_delta(&delta, &baseline, &mut dst).unwrap();
+            prop_assert_eq!(via_delta, via_full, "delta route must rebuild the same node");
+            let rebased = delta.rebase(&baseline);
+            prop_assert_eq!(rebased.node_count(), full.node_count());
+            let via_rebased = import(&rebased, &mut dst).unwrap();
+            prop_assert_eq!(via_rebased, via_full);
+            for asg in 0..(1u32 << NVARS) {
+                prop_assert_eq!(
+                    dst.eval(via_delta, &|v| asg >> v & 1 == 1),
+                    src.eval(target, &|v| asg >> v & 1 == 1),
+                    "assignment {:05b}", asg
+                );
+            }
+            dst.unprotect(via_full);
+            dst.unprotect(via_delta);
+            dst.unprotect(via_rebased);
+        }
     }
 
     /// The AIG of a random expression equals its truth table, and the

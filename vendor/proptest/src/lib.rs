@@ -3,12 +3,19 @@
 //!
 //! Provides deterministic random case generation with the `proptest`
 //! surface this workspace uses: the [`Strategy`] trait with `prop_map`
-//! and `prop_recursive`, range and tuple strategies, [`prop_oneof!`],
-//! the [`proptest!`] test macro, `prop_assert!`/`prop_assert_eq!`, and
-//! [`ProptestConfig`]. Failing cases are **not shrunk**; the failure
-//! message reports the case index and the generated inputs (via the
-//! assertion text) so a run can be reproduced — generation is a pure
-//! function of the case index.
+//! and `prop_recursive`, range, tuple and [`collection::vec`]
+//! strategies, [`prop_oneof!`], the [`proptest!`] test macro,
+//! `prop_assert!`/`prop_assert_eq!`, and [`ProptestConfig`].
+//!
+//! Failing cases are **minimally shrunk**: on the first failure the
+//! runner greedily walks [`Strategy::shrink`] candidates — accepting
+//! the first candidate that still fails, up to a bounded number of
+//! attempts — and reports the shrunk inputs alongside the case index.
+//! Unlike real proptest there is no value tree: shrinking is a plain
+//! value-to-candidates function, so mapped strategies (`prop_map`,
+//! `prop_recursive`, [`prop_oneof!`]) do not shrink and simply report
+//! the original failing value. Generation stays a pure function of the
+//! case index, so any report is reproducible.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -61,14 +68,29 @@ impl TestRng {
 
 /// A generator of random values: the core abstraction.
 ///
-/// Unlike real proptest there is no value tree and no shrinking — a
-/// strategy is just a deterministic function of a [`TestRng`].
+/// Unlike real proptest there is no value tree — a strategy is a
+/// deterministic function of a [`TestRng`], plus an optional
+/// [`Strategy::shrink`] that proposes simpler variants of a failing
+/// value.
 pub trait Strategy: Clone + 'static {
     /// The type of value this strategy generates.
     type Value;
 
     /// Generates one value.
     fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes simpler variants of `value`, most aggressive first.
+    ///
+    /// The runner accepts the first candidate that still fails and
+    /// shrinks again from there, so candidates should be ordered
+    /// smallest-first and each must itself be a value this strategy
+    /// could have generated. The default — no candidates — makes
+    /// shrinking opt-in per strategy; mapped/erased strategies keep it
+    /// because an arbitrary `prop_map` has no inverse to shrink
+    /// through.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Maps generated values through `f`.
     fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
@@ -77,7 +99,10 @@ pub trait Strategy: Clone + 'static {
         F: Fn(Self::Value) -> U + 'static,
     {
         let inner = self;
-        BoxedStrategy(Arc::new(move |rng| f(inner.new_value(rng))))
+        BoxedStrategy {
+            gen: Arc::new(move |rng| f(inner.new_value(rng))),
+            shrink: Arc::new(|_| Vec::new()),
+        }
     }
 
     /// Builds a recursive strategy: `self` generates leaves, and
@@ -105,33 +130,46 @@ pub trait Strategy: Clone + 'static {
             let deeper = branch(strat);
             // 1-in-4 chance of cutting to a leaf early, like proptest's
             // size-driven taper.
-            strat = BoxedStrategy(Arc::new(move |rng| {
-                if rng.gen_index(4) == 0 {
-                    leaf.new_value(rng)
-                } else {
-                    deeper.new_value(rng)
-                }
-            }));
+            strat = BoxedStrategy {
+                gen: Arc::new(move |rng| {
+                    if rng.gen_index(4) == 0 {
+                        leaf.new_value(rng)
+                    } else {
+                        deeper.new_value(rng)
+                    }
+                }),
+                shrink: Arc::new(|_| Vec::new()),
+            };
         }
         strat
     }
 
-    /// Type-erases this strategy.
+    /// Type-erases this strategy, preserving its shrinker.
     fn boxed(self) -> BoxedStrategy<Self::Value>
     where
         Self: Sized,
     {
-        let inner = self;
-        BoxedStrategy(Arc::new(move |rng| inner.new_value(rng)))
+        let genner = self.clone();
+        let shrinker = self;
+        BoxedStrategy {
+            gen: Arc::new(move |rng| genner.new_value(rng)),
+            shrink: Arc::new(move |v| shrinker.shrink(v)),
+        }
     }
 }
 
+/// The erased shrink half of a [`BoxedStrategy`]: candidates for one value.
+type ShrinkFn<T> = Arc<dyn Fn(&T) -> Vec<T>>;
+
 /// A type-erased, cheaply clonable strategy.
-pub struct BoxedStrategy<T>(Arc<dyn Fn(&mut TestRng) -> T>);
+pub struct BoxedStrategy<T> {
+    gen: Arc<dyn Fn(&mut TestRng) -> T>,
+    shrink: ShrinkFn<T>,
+}
 
 impl<T> Clone for BoxedStrategy<T> {
     fn clone(&self) -> Self {
-        BoxedStrategy(Arc::clone(&self.0))
+        BoxedStrategy { gen: Arc::clone(&self.gen), shrink: Arc::clone(&self.shrink) }
     }
 }
 
@@ -139,7 +177,11 @@ impl<T: 'static> Strategy for BoxedStrategy<T> {
     type Value = T;
 
     fn new_value(&self, rng: &mut TestRng) -> T {
-        (self.0)(rng)
+        (self.gen)(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        (self.shrink)(value)
     }
 }
 
@@ -151,6 +193,30 @@ macro_rules! impl_range_strategy {
             fn new_value(&self, rng: &mut TestRng) -> $t {
                 rng.0.gen_range(self.clone())
             }
+
+            /// The classic integer ladder: the lower bound first, then
+            /// successive halvings of the distance back toward the
+            /// value, ending at `value - 1` — so the greedy runner
+            /// binary-searches to the smallest failing value.
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                // Widen to i128 so the distance can't overflow signed
+                // types (e.g. i8: MIN..MAX spans more than i8 holds).
+                let lo = self.start as i128;
+                let v = *value as i128;
+                if v <= lo {
+                    return Vec::new();
+                }
+                let mut out = vec![self.start];
+                let mut delta = (v - lo) / 2;
+                while delta > 0 {
+                    let c = v - delta;
+                    if c > lo {
+                        out.push(c as $t);
+                    }
+                    delta /= 2;
+                }
+                out
+            }
         }
     )*};
 }
@@ -158,24 +224,39 @@ macro_rules! impl_range_strategy {
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 macro_rules! impl_tuple_strategy {
-    ($(($($name:ident),+))+) => {$(
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($(($($name:ident : $idx:tt),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
             type Value = ($($name::Value,)+);
 
             fn new_value(&self, rng: &mut TestRng) -> Self::Value {
-                #[allow(non_snake_case)]
-                let ($($name,)+) = self;
-                ($($name.new_value(rng),)+)
+                ($(self.$idx.new_value(rng),)+)
+            }
+
+            /// Substitutes each component's shrink candidates in turn,
+            /// holding the other components at the failing value.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for c in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = c;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )+};
 }
 
 impl_tuple_strategy! {
-    (A)
-    (A, B)
-    (A, B, C)
-    (A, B, C, D)
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
 }
 
 /// A strategy that always yields clones of one value, mirroring
@@ -215,33 +296,133 @@ pub mod strategy {
     }
 }
 
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A strategy for `Vec`s with length drawn from a range; see
+    /// [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates `Vec<S::Value>` with a length drawn uniformly from
+    /// `len` and each element drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.len.end > self.len.start {
+                self.len.start + rng.gen_index(self.len.end - self.len.start)
+            } else {
+                self.len.start
+            };
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+
+        /// Structural shrinks first — truncate halfway toward the
+        /// minimum length, then drop the last element — followed by
+        /// per-element substitution of the element strategy's shrink
+        /// candidates. Never goes below the minimum length.
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let min = self.len.start;
+            if value.len() > min {
+                let half = min + (value.len() - min) / 2;
+                if half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                if value.len() - 1 != half {
+                    out.push(value[..value.len() - 1].to_vec());
+                }
+            }
+            for (i, v) in value.iter().enumerate() {
+                for c in self.element.shrink(v) {
+                    let mut next = value.clone();
+                    next[i] = c;
+                    out.push(next);
+                }
+            }
+            out
+        }
+    }
+}
+
 /// The error a failing property raises: message plus location info.
 pub type TestCaseError = String;
 
+/// Caps total candidate evaluations per shrink, so a slow property
+/// body can't turn one failure into an unbounded re-run storm.
+const MAX_SHRINK_ATTEMPTS: u32 = 500;
+
 /// Runs `cfg.cases` generated cases of a property; used by [`proptest!`].
 ///
-/// `gen` produces the inputs for one case, `run` executes the body.
-/// Panics (like a failing `#[test]`) on the first failing case.
-pub fn run_property<I, G, R>(name: &str, cfg: &ProptestConfig, gen_inputs: G, mut run: R)
+/// `strategy` produces the inputs for one case, `run` executes the
+/// body. On the first failing case the inputs are greedily shrunk —
+/// walk [`Strategy::shrink`] candidates, accept the first that still
+/// fails, repeat from it — then the test panics (like a failing
+/// `#[test]`) reporting the shrunk inputs. A property body that panics
+/// instead of returning `Err` still fails the test, but at the
+/// unshrunk inputs.
+pub fn run_property<S, R>(name: &str, cfg: &ProptestConfig, strategy: &S, mut run: R)
 where
-    G: Fn(&mut TestRng) -> I,
-    R: FnMut(I) -> Result<(), TestCaseError>,
-    I: std::fmt::Debug,
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug,
+    R: FnMut(S::Value) -> Result<(), TestCaseError>,
 {
     for case in 0..cfg.cases {
         let mut rng = TestRng::for_case(name, case);
-        let inputs = gen_inputs(&mut rng);
-        if let Err(msg) = run(inputs) {
-            // Generation is a pure function of (name, case), so the
-            // failing inputs can be regenerated for the report instead
-            // of cloning them on every (usually passing) case.
-            let inputs = gen_inputs(&mut TestRng::for_case(name, case));
-            panic!(
-                "proptest property `{name}` failed at case {case}/{}:\n  inputs: {inputs:?}\n  {msg}",
-                cfg.cases
-            );
-        }
+        let inputs = strategy.new_value(&mut rng);
+        let Err(msg) = run(inputs.clone()) else { continue };
+        let (inputs, msg, attempts) = shrink_failure(strategy, inputs, msg, &mut run);
+        panic!(
+            "proptest property `{name}` failed at case {case}/{} \
+             (after {attempts} shrink attempts):\n  inputs: {inputs:?}\n  {msg}",
+            cfg.cases
+        );
     }
+}
+
+/// The greedy shrink loop: repeatedly replace the failing value with
+/// its first still-failing shrink candidate, until no candidate fails
+/// or the attempt budget runs out.
+fn shrink_failure<S, R>(
+    strategy: &S,
+    mut failing: S::Value,
+    mut msg: TestCaseError,
+    run: &mut R,
+) -> (S::Value, TestCaseError, u32)
+where
+    S: Strategy,
+    S::Value: Clone,
+    R: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut attempts = 0;
+    'shrunk: while attempts < MAX_SHRINK_ATTEMPTS {
+        for candidate in strategy.shrink(&failing) {
+            attempts += 1;
+            if let Err(m) = run(candidate.clone()) {
+                failing = candidate;
+                msg = m;
+                continue 'shrunk;
+            }
+            if attempts >= MAX_SHRINK_ATTEMPTS {
+                break;
+            }
+        }
+        break;
+    }
+    (failing, msg, attempts)
 }
 
 /// Uniform choice among several strategies with the same value type.
@@ -330,7 +511,7 @@ macro_rules! __proptest_items {
             $crate::run_property(
                 stringify!($name),
                 &cfg,
-                |rng| $crate::Strategy::new_value(&strategies, rng),
+                &strategies,
                 |($($pat,)+)| { $body ::std::result::Result::Ok(()) },
             );
         }
@@ -342,7 +523,8 @@ macro_rules! __proptest_items {
 pub mod prelude {
     pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig, TestCaseError,
+        collection, prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig,
+        TestCaseError,
     };
 }
 
@@ -397,6 +579,112 @@ mod tests {
         assert!(max_seen >= 1, "some non-leaf trees should appear");
     }
 
+    #[test]
+    fn integer_shrink_halves_toward_the_lower_bound() {
+        assert_eq!((0u32..100).shrink(&10), vec![0, 5, 8, 9]);
+        assert!((0u32..100).shrink(&0).is_empty());
+        assert_eq!((5u32..100).shrink(&6), vec![5]);
+        assert!((-8i32..8).shrink(&-8).is_empty());
+        assert_eq!((-8i32..8).shrink(&0), vec![-8, -4, -2, -1]);
+        // The full i8 span: the i128 widening keeps `v - lo` from
+        // overflowing the value type.
+        assert_eq!((i8::MIN..i8::MAX).shrink(&i8::MAX)[0], i8::MIN);
+    }
+
+    #[test]
+    fn tuple_shrink_substitutes_one_component_at_a_time() {
+        let s = (0u32..10, 0u64..10);
+        let candidates = s.shrink(&(4, 6));
+        assert!(candidates.contains(&(0, 6)));
+        assert!(candidates.contains(&(4, 0)));
+        assert!(
+            candidates.iter().all(|&(a, b)| a == 4 || b == 6),
+            "shrink must vary exactly one component per candidate"
+        );
+    }
+
+    #[test]
+    fn vec_strategy_generates_in_bounds_and_shrinks() {
+        let s = collection::vec(0u32..10, 1..5);
+        let mut rng = TestRng::for_case("vec", 0);
+        let mut lens_seen = std::collections::BTreeSet::new();
+        for _ in 0..64 {
+            let v = s.new_value(&mut rng);
+            assert!((1..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+            lens_seen.insert(v.len());
+        }
+        assert!(lens_seen.len() > 1, "lengths should vary across cases");
+
+        let candidates = s.shrink(&vec![3, 9]);
+        assert!(candidates.contains(&vec![3]), "structural: truncate toward min length");
+        assert!(candidates.contains(&vec![0, 9]), "element-wise: shrink position 0");
+        assert!(candidates.contains(&vec![3, 0]), "element-wise: shrink position 1");
+        assert!(
+            candidates.iter().all(|c| !c.is_empty()),
+            "never shrinks below the minimum length"
+        );
+        assert!(s.shrink(&vec![0]).is_empty(), "minimal vec has no candidates");
+    }
+
+    /// End-to-end: a property failing for `x >= 17` must shrink to the
+    /// exact boundary value, whatever case first trips it.
+    #[test]
+    fn failing_properties_shrink_to_the_minimal_counterexample() {
+        let strategy = (0u32..1000,);
+        let result = std::panic::catch_unwind(|| {
+            super::run_property(
+                "shrink_e2e",
+                &ProptestConfig::with_cases(64),
+                &strategy,
+                |(x,)| if x >= 17 { Err(format!("too big: {x}")) } else { Ok(()) },
+            )
+        });
+        let payload = result.expect_err("property must fail");
+        let msg = payload.downcast_ref::<String>().expect("panic carries a String");
+        assert!(
+            msg.contains("inputs: (17,)"),
+            "greedy binary-search shrink must land on the boundary, got: {msg}"
+        );
+        assert!(msg.contains("too big: 17"), "message must come from the shrunk run: {msg}");
+    }
+
+    /// Shrinking is bounded: a property that fails for every input
+    /// stops after the attempt budget instead of looping forever.
+    #[test]
+    fn shrink_attempts_are_bounded() {
+        let strategy = (0u64..u64::MAX,);
+        let mut runs = 0u32;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            super::run_property(
+                "shrink_bounded",
+                &ProptestConfig::with_cases(1),
+                &strategy,
+                |(_x,)| {
+                    runs += 1;
+                    Err("always fails".to_string())
+                },
+            )
+        }));
+        assert!(result.is_err());
+        // One original run plus at most the shrink budget; shrinking an
+        // always-failing huge range would otherwise never terminate.
+        assert!(runs <= 1 + super::MAX_SHRINK_ATTEMPTS, "ran {runs} times");
+        // And the all-failing ladder collapses to the lower bound.
+        let msg_owned = match std::panic::catch_unwind(|| {
+            super::run_property(
+                "shrink_bounded2",
+                &ProptestConfig::with_cases(1),
+                &strategy,
+                |(_x,)| Err("always fails".to_string()),
+            )
+        }) {
+            Err(p) => p.downcast_ref::<String>().unwrap().clone(),
+            Ok(()) => panic!("property must fail"),
+        };
+        assert!(msg_owned.contains("inputs: (0,)"), "got: {msg_owned}");
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -411,6 +699,14 @@ mod tests {
         #[test]
         fn oneof_covers_all_arms(x in prop_oneof![0u32..1, 5u32..6, 9u32..10]) {
             prop_assert!(x == 0 || x == 5 || x == 9);
+        }
+
+        /// Vec strategies work through the macro surface.
+        #[test]
+        fn macro_accepts_vec_strategies(v in collection::vec(0u32..100, 0..8)) {
+            prop_assert!(v.len() < 8);
+            let doubled: Vec<u32> = v.iter().map(|x| x * 2).collect();
+            prop_assert_eq!(doubled.len(), v.len());
         }
     }
 }
