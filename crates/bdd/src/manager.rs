@@ -100,12 +100,18 @@ pub(crate) struct Node {
     pub hi: NodeId,
 }
 
-const TERMINAL_VAR: u32 = u32::MAX;
+pub(crate) const TERMINAL_VAR: u32 = u32::MAX;
 
 /// A Reduced Ordered BDD manager with complement edges: owns the node
 /// table, unique table, computed caches, the external root set, and the
-/// free list of recycled slots. Variables are identified by `u32`
-/// levels; smaller levels are nearer the root (tested first).
+/// free list of recycled slots. Variables are identified by `u32` ids;
+/// a var↔level indirection ([`BddManager::level_of`]) maps each id to
+/// its current position in the order — smaller levels are nearer the
+/// root (tested first). The order starts as the identity and changes
+/// only through dynamic reordering ([`BddManager::sift`] /
+/// [`BddManager::swap_adjacent_levels`]), which rewires the table in
+/// place: every external `NodeId` keeps denoting the same function
+/// across a reorder.
 ///
 /// All operations that may allocate return `Result<NodeId, OutOfNodes>`.
 ///
@@ -138,16 +144,38 @@ pub struct BddManager {
     /// tell entries untouched for N collections from hot ones.
     pub(crate) cache_epoch: u32,
     /// Recycled node-table slots available for reuse by `mk`.
-    free_list: Vec<u32>,
+    pub(crate) free_list: Vec<u32>,
     /// External references: node index → reference count.
-    roots: FxHashMap<u32, u32>,
-    max_nodes: usize,
-    peak_live: usize,
-    total_allocated: u64,
-    total_freed: u64,
+    pub(crate) roots: FxHashMap<u32, u32>,
+    pub(crate) max_nodes: usize,
+    pub(crate) peak_live: usize,
+    pub(crate) total_allocated: u64,
+    pub(crate) total_freed: u64,
+    /// Variable id → current level (position in the order). Extended
+    /// lazily by `mk`; the identity until a reorder changes it.
+    pub(crate) var2level: Vec<u32>,
+    /// Current level → variable id (inverse of `var2level`).
+    pub(crate) level2var: Vec<u32>,
+    /// If set, sifting fires automatically at operation entry whenever
+    /// the live count has grown by this many nodes since the last
+    /// reorder (see [`BddManager::set_auto_reorder`]).
+    pub(crate) auto_reorder_threshold: Option<usize>,
+    /// Live-node count right after the last reorder; baseline for the
+    /// auto-reorder trigger.
+    pub(crate) last_reorder_live: usize,
+    /// Variable pairs that must stay adjacent (in this relative order)
+    /// through reordering — sifted as 2-blocks. The interleaved
+    /// current/next encoding of the mc engines depends on this.
+    pub(crate) reorder_pairs: Vec<(u32, u32)>,
+    /// Number of sifting passes run (explicit or auto-triggered).
+    pub(crate) reorders_run: u64,
+    /// Sum of live-node counts entering each sift.
+    pub(crate) reorder_nodes_before: u64,
+    /// Sum of live-node counts leaving each sift.
+    pub(crate) reorder_nodes_after: u64,
     /// Live-node count at the end of the last collection; baseline for
     /// the growth-threshold heuristic.
-    last_gc_live: usize,
+    pub(crate) last_gc_live: usize,
     /// If set, collect whenever the live count has grown by this many
     /// nodes since the last collection (checked at operation entry, a
     /// safe point). `None` (the default) keeps the historical
@@ -179,10 +207,149 @@ impl BddManager {
             peak_live: 1,
             total_allocated: 0,
             total_freed: 0,
+            var2level: Vec::new(),
+            level2var: Vec::new(),
+            auto_reorder_threshold: None,
+            last_reorder_live: 1,
+            reorder_pairs: Vec::new(),
+            reorders_run: 0,
+            reorder_nodes_before: 0,
+            reorder_nodes_after: 0,
             last_gc_live: 1,
             gc_growth_threshold: None,
             cache_max_age: None,
         }
+    }
+
+    /// Current level of variable `var` — its position in the order,
+    /// smaller = nearer the root. Variables the manager has not seen
+    /// yet (and the terminal, `TERMINAL_VAR`) sit at their own id,
+    /// which keeps them below every reordered level.
+    #[inline]
+    pub fn level_of(&self, var: u32) -> u32 {
+        match self.var2level.get(var as usize) {
+            Some(&l) => l,
+            None => var,
+        }
+    }
+
+    /// The variable currently at `level` (identity for levels beyond
+    /// the tracked order).
+    pub fn var_at_level(&self, level: u32) -> u32 {
+        match self.level2var.get(level as usize) {
+            Some(&v) => v,
+            None => level,
+        }
+    }
+
+    /// The current variable order, root-first: `order[level] = var`.
+    /// Covers every variable the manager has tracked so far.
+    pub fn current_order(&self) -> Vec<u32> {
+        self.level2var.clone()
+    }
+
+    /// Installs a variable order wholesale — typically another
+    /// manager's [`current_order`](Self::current_order) carried by an
+    /// [`ExportedBdd`](crate::transfer::ExportedBdd), so a fresh
+    /// receiver rebuilds an imported cone at exactly its exported size
+    /// instead of paying ITE re-normalization. `order[level] = var`,
+    /// and `order` must be a permutation of `0..order.len()`; variables
+    /// the manager later meets beyond that range get identity levels as
+    /// usual.
+    ///
+    /// Only legal while the manager holds no decision nodes (fresh, or
+    /// everything collected): with live nodes an order change must go
+    /// through [`swap_adjacent_levels`](Self::swap_adjacent_levels) /
+    /// [`sift`](Self::sift), which rewrite the nodes to match.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the manager holds decision nodes or `order` is not a
+    /// permutation of `0..order.len()`.
+    pub fn adopt_order(&mut self, order: &[u32]) {
+        assert_eq!(
+            self.nodes.len() - self.free_list.len(),
+            1,
+            "adopt_order requires a manager without decision nodes"
+        );
+        let n = order.len();
+        let mut var2level = vec![u32::MAX; n];
+        for (level, &var) in order.iter().enumerate() {
+            assert!(
+                (var as usize) < n && var2level[var as usize] == u32::MAX,
+                "order must be a permutation of 0..{n}"
+            );
+            var2level[var as usize] = level as u32;
+        }
+        // Keep coverage of vars already tracked (e.g. via
+        // `set_reorder_pairs` on a fresh manager) with the identity
+        // tail `ensure_var` would have given them.
+        for v in n as u32..self.var2level.len() as u32 {
+            var2level.push(v);
+        }
+        let mut level2var: Vec<u32> = order.to_vec();
+        level2var.extend(n as u32..self.level2var.len() as u32);
+        self.var2level = var2level;
+        self.level2var = level2var;
+    }
+
+    /// Extends the var↔level maps (identity at the tail) so that `var`
+    /// is tracked. Called by `mk` for every decision variable, so any
+    /// variable with a node always has a level.
+    #[inline]
+    pub(crate) fn ensure_var(&mut self, var: u32) {
+        if (var as usize) < self.var2level.len() || var == TERMINAL_VAR {
+            return;
+        }
+        let old = self.var2level.len() as u32;
+        self.var2level.extend(old..=var);
+        self.level2var.extend(old..=var);
+    }
+
+    /// Enables (or disables, with `None`) automatic dynamic reordering:
+    /// once armed, a sifting pass fires at operation entry whenever the
+    /// live count has grown by `threshold` nodes — *and* to at least
+    /// twice its size — since the last reorder (same safe point as the
+    /// growth-threshold GC, and likewise only once a root set exists).
+    /// The doubling term is the classic geometric backoff: reorders
+    /// happen at exponentially spaced table sizes, so their total cost
+    /// stays proportional to the work that grew the table. Tables past
+    /// a sixteenth of the node quota are never auto-sifted: a table
+    /// that big mid-computation is either headed for a memout — where
+    /// a better order only *delays* the inevitable quota death (it
+    /// compresses the intermediates, so strictly more image work fits
+    /// under the quota before the engine gives up; measured 4× slower
+    /// on the Fig. 7 blowup) — or already holds a workable order from
+    /// the passes that fired while it was small. Arming re-baselines
+    /// the trigger at the current live count.
+    pub fn set_auto_reorder(&mut self, threshold: Option<usize>) {
+        self.auto_reorder_threshold = threshold;
+        self.last_reorder_live = self.nodes.len() - self.free_list.len();
+    }
+
+    /// Declares variable pairs that must stay adjacent (in the given
+    /// relative order) through every reorder; sifting moves each pair
+    /// as one 2-block. Pairs must be adjacent in the current order when
+    /// declared. The mc engines pair each current-state variable with
+    /// its next-state twin so `rename`'s order-preservation contract
+    /// survives reordering.
+    pub fn set_reorder_pairs(&mut self, pairs: Vec<(u32, u32)>) {
+        for &(a, b) in &pairs {
+            self.ensure_var(a);
+            self.ensure_var(b);
+            debug_assert_eq!(
+                self.level_of(a) + 1,
+                self.level_of(b),
+                "reorder pair ({a},{b}) must be adjacent when declared"
+            );
+        }
+        self.reorder_pairs = pairs;
+    }
+
+    /// `(reorders run, Σ live nodes before, Σ live nodes after)` over
+    /// the manager's lifetime — the raw material for `CheckStats`.
+    pub fn reorder_stats(&self) -> (u64, u64, u64) {
+        (self.reorders_run, self.reorder_nodes_before, self.reorder_nodes_after)
     }
 
     /// Enables (or disables, with `None`) table-growth-threshold
@@ -247,7 +414,8 @@ impl BddManager {
         self.max_nodes
     }
 
-    /// The variable level of a node (`u32::MAX` for the terminal).
+    /// The variable id of a node (`u32::MAX` for the terminal). For the
+    /// node's position in the current order see [`BddManager::level_of`].
     pub fn node_var(&self, n: NodeId) -> u32 {
         self.nodes[n.index() as usize].var
     }
@@ -288,12 +456,14 @@ impl BddManager {
         if lo == hi {
             return Ok(lo);
         }
+        self.ensure_var(var);
         // Canonical form: the stored hi edge is regular. A complemented
         // hi is factored out of both children and onto the result edge.
         let neg = hi.is_complemented() as u32;
         let (lo, hi) = (NodeId(lo.0 ^ neg), NodeId(hi.0 ^ neg));
         debug_assert!(
-            var < self.nodes[lo.index() as usize].var && var < self.nodes[hi.index() as usize].var,
+            self.level_of(var) < self.level_of(self.nodes[lo.index() as usize].var)
+                && self.level_of(var) < self.level_of(self.nodes[hi.index() as usize].var),
             "order violation in mk"
         );
         // One hash probe for both the hit and the miss path.
@@ -465,6 +635,21 @@ impl BddManager {
         temps: &[NodeId],
         mut op: impl FnMut(&mut Self) -> Result<T, OutOfNodes>,
     ) -> Result<T, OutOfNodes> {
+        // Auto-reorder trigger: operation entry is the same safe point
+        // the growth-threshold GC uses (operands are in `temps`,
+        // everything else the caller holds is protected by contract).
+        // Sifting starts with its own collection, so it runs before —
+        // and updates `last_gc_live` for — the GC heuristic below.
+        if let Some(t) = self.auto_reorder_threshold {
+            let live = self.nodes.len() - self.free_list.len();
+            if !self.roots.is_empty()
+                && live >= self.last_reorder_live.saturating_add(t)
+                && live >= self.last_reorder_live.saturating_mul(2)
+                && live <= self.max_nodes / 16
+            {
+                self.sift_with_temps(temps);
+            }
+        }
         // Growth-threshold heuristic: operation entry is a safe point
         // (operands are in `temps`, everything else the caller holds is
         // protected by contract), so collect proactively when the table
@@ -585,9 +770,11 @@ impl BddManager {
     /// (variables `0..nvars`), as `f64` (exact for small counts).
     pub fn count_sat(&self, f: NodeId, nvars: u32) -> f64 {
         let mut memo: FxHashMap<NodeId, f64> = FxHashMap::default();
-        // count(n) = number of solutions below n, over vars var(n)..nvars.
-        // The memo is keyed on the full edge (complement tag included),
-        // so f and ¬f each get their own entry.
+        // count(n) = number of solutions below n, over the levels from
+        // level(var(n)) to nvars — with dynamic reordering the "skipped
+        // variables" exponent is a level gap, not a var-id gap. The memo
+        // is keyed on the full edge (complement tag included), so f and
+        // ¬f each get their own entry.
         fn go(
             m: &BddManager,
             n: NodeId,
@@ -603,17 +790,17 @@ impl BddManager {
             if let Some(&c) = memo.get(&n) {
                 return c;
             }
-            let v = m.var_of(n);
+            let v = m.level_of(m.var_of(n));
             let lo = m.lo(n);
             let hi = m.hi(n);
-            let lo_v = if lo.is_terminal() { nvars } else { m.var_of(lo) };
-            let hi_v = if hi.is_terminal() { nvars } else { m.var_of(hi) };
-            let c = go(m, lo, nvars, memo) * 2f64.powi((lo_v - v - 1) as i32)
-                + go(m, hi, nvars, memo) * 2f64.powi((hi_v - v - 1) as i32);
+            let lo_l = if lo.is_terminal() { nvars } else { m.level_of(m.var_of(lo)) };
+            let hi_l = if hi.is_terminal() { nvars } else { m.level_of(m.var_of(hi)) };
+            let c = go(m, lo, nvars, memo) * 2f64.powi((lo_l - v - 1) as i32)
+                + go(m, hi, nvars, memo) * 2f64.powi((hi_l - v - 1) as i32);
             memo.insert(n, c);
             c
         }
-        let top = if f.is_terminal() { nvars } else { self.var_of(f) };
+        let top = if f.is_terminal() { nvars } else { self.level_of(self.var_of(f)) };
         go(self, f, nvars, &mut memo) * 2f64.powi(top as i32)
     }
 }

@@ -154,10 +154,8 @@ impl BddManager {
                         results.push(if neg { !r } else { r });
                         continue;
                     }
-                    let v = self
-                        .var_of(f)
-                        .min(self.var_of(g))
-                        .min(self.var_of(h));
+                    let fg = self.upper_var(self.var_of(f), self.var_of(g));
+                    let v = self.upper_var(fg, self.var_of(h));
                     let (f0, f1) = self.cofactors(f, v);
                     let (g0, g1) = self.cofactors(g, v);
                     let (h0, h1) = self.cofactors(h, v);
@@ -239,10 +237,8 @@ impl BddManager {
         if let Some(&r) = memo.get(&(f, g, h)) {
             return Ok(r);
         }
-        let v = self
-            .var_of(f)
-            .min(self.var_of(g))
-            .min(self.var_of(h));
+        let fg = self.upper_var(self.var_of(f), self.var_of(g));
+        let v = self.upper_var(fg, self.var_of(h));
         let (f0, f1) = self.cofactors(f, v);
         let (g0, g1) = self.cofactors(g, v);
         let (h0, h1) = self.cofactors(h, v);
@@ -253,9 +249,24 @@ impl BddManager {
         Ok(r)
     }
 
+    /// Of two variable ids, the one whose **level** is nearer the root in
+    /// the current order — the recursion variable of a binary apply. Var
+    /// ids are only order surrogates under the identity order; every
+    /// top-variable pick must go through levels once dynamic reordering
+    /// can permute them. (`TERMINAL_VAR` maps to level `u32::MAX`, so
+    /// terminals lose against any decision variable.)
+    #[inline]
+    fn upper_var(&self, a: u32, b: u32) -> u32 {
+        if self.level_of(a) <= self.level_of(b) {
+            a
+        } else {
+            b
+        }
+    }
+
     /// Cofactors of `n` with respect to variable `v` (which must be at or
-    /// above `n`'s top variable). Complement tags propagate to the
-    /// cofactors.
+    /// above `n`'s top variable in the current order). Complement tags
+    /// propagate to the cofactors.
     fn cofactors(&self, n: NodeId, v: u32) -> (NodeId, NodeId) {
         if self.var_of(n) == v {
             (self.lo(n), self.hi(n))
@@ -304,7 +315,7 @@ impl BddManager {
             e.1 = epoch;
             return Ok(e.0);
         }
-        let v = self.var_of(f).min(self.var_of(g));
+        let v = self.upper_var(self.var_of(f), self.var_of(g));
         let (f0, f1) = self.cofactors(f, v);
         let (g0, g1) = self.cofactors(g, v);
         let lo = self.and_rec(f0, g0)?;
@@ -392,7 +403,7 @@ impl BddManager {
             if !seen.insert((f, g)) {
                 return false; // already explored, found nothing
             }
-            let v = m.var_of(f).min(m.var_of(g));
+            let v = m.upper_var(m.var_of(f), m.var_of(g));
             let (f0, f1) = m.cofactors(f, v);
             let (g0, g1) = m.cofactors(g, v);
             go(m, f0, g0, seen) || go(m, f1, g1, seen)
@@ -422,8 +433,8 @@ impl BddManager {
         Ok(self.and(f, !g)? == NodeId::FALSE)
     }
 
-    /// Builds the positive cube of the given variables (sorted ascending
-    /// internally), for use with [`BddManager::exists`].
+    /// Builds the positive cube of the given variables (sorted by their
+    /// current level internally), for use with [`BddManager::exists`].
     ///
     /// # Errors
     ///
@@ -431,7 +442,9 @@ impl BddManager {
     /// garbage collection.
     pub fn cube(&mut self, vars: &[u32]) -> Result<NodeId, OutOfNodes> {
         let mut sorted = vars.to_vec();
-        sorted.sort_unstable();
+        // Build root-first in the *current* order, not by var id —
+        // distinct vars have distinct levels, so dedup still works.
+        sorted.sort_unstable_by_key(|&v| self.level_of(v));
         sorted.dedup();
         self.run_with_gc(&[], |m| {
             let mut acc = NodeId::TRUE;
@@ -461,10 +474,11 @@ impl BddManager {
             e.1 = epoch;
             return Ok(e.0);
         }
-        // Skip cube vars above f's top var.
+        // Skip cube vars above f's top var (in the current order).
         let fv = self.var_of(f);
+        let fl = self.level_of(fv);
         let mut c = cube;
-        while !c.is_terminal() && self.var_of(c) < fv {
+        while !c.is_terminal() && self.level_of(self.var_of(c)) < fl {
             c = self.hi(c);
         }
         if c == NodeId::TRUE {
@@ -476,7 +490,7 @@ impl BddManager {
             let hi = self.exists_rec(self.hi(f), self.hi(c))?;
             self.or_rec(lo, hi)?
         } else {
-            debug_assert!(fv < cv);
+            debug_assert!(fl < self.level_of(cv));
             let lo = self.exists_rec(self.lo(f), c)?;
             let hi = self.exists_rec(self.hi(f), c)?;
             self.mk(fv, lo, hi)?
@@ -534,12 +548,11 @@ impl BddManager {
             e.1 = epoch;
             return Ok(e.0);
         }
-        let fv = self.var_of(f);
-        let gv = self.var_of(g);
-        let v = fv.min(gv);
-        // Advance the cube to v.
+        let v = self.upper_var(self.var_of(f), self.var_of(g));
+        let vl = self.level_of(v);
+        // Advance the cube to v's level.
         let mut c = cube;
-        while !c.is_terminal() && self.var_of(c) < v {
+        while !c.is_terminal() && self.level_of(self.var_of(c)) < vl {
             c = self.hi(c);
         }
         let r = if !c.is_terminal() && self.var_of(c) == v {
@@ -566,7 +579,12 @@ impl BddManager {
 
     /// Renames variables by an **order-preserving** mapping: `map[i]` is a
     /// `(from, to)` pair; variables not mentioned are unchanged. The
-    /// mapping must preserve relative variable order.
+    /// mapping must preserve relative variable order — under dynamic
+    /// reordering that means relative **level** order: sources sorted by
+    /// their current level must map to targets in ascending level order.
+    /// (The mc engines keep each current/next pair adjacent through
+    /// reordering — see `BddManager::set_reorder_pairs` — precisely so
+    /// their rename maps stay order-preserving.)
     ///
     /// # Errors
     ///
@@ -581,10 +599,10 @@ impl BddManager {
         #[cfg(debug_assertions)]
         {
             let mut sorted = map.to_vec();
-            sorted.sort_unstable();
+            sorted.sort_unstable_by_key(|&(from, _)| self.level_of(from));
             for w in sorted.windows(2) {
                 debug_assert!(
-                    w[0].1 < w[1].1,
+                    self.level_of(w[0].1) < self.level_of(w[1].1),
                     "rename mapping must be order-preserving: {:?}",
                     map
                 );
@@ -642,7 +660,7 @@ impl BddManager {
     }
 
     fn restrict_rec(&mut self, f: NodeId, v: u32, value: bool) -> Result<NodeId, OutOfNodes> {
-        if f.is_terminal() || self.var_of(f) > v {
+        if f.is_terminal() || self.level_of(self.var_of(f)) > self.level_of(v) {
             return Ok(f);
         }
         if self.var_of(f) == v {

@@ -1,18 +1,45 @@
-//! Static variable-order search by *window permutation*: a lightweight
-//! relative of Rudell's sifting suited to this package's
-//! no-inplace-mutation node table.
+//! Variable reordering, two ways:
 //!
-//! The manager's ops assume a fixed global order, so instead of swapping
-//! adjacent levels in place (classic sifting), [`best_window_order`]
-//! evaluates candidate orders by *rebuilding* the function under each
-//! permutation of a sliding window and keeping the best. Rebuilding via
-//! [`BddManager::rename`] is only valid for order-preserving maps, so the
-//! rebuild here re-evaluates the function bottom-up with Shannon
-//! expansion in the new order — exact, if more expensive than in-place
-//! sifting; intended for the moderate variable counts of leaf-module
-//! cones.
+//! 1. **In-place dynamic reordering** — the adjacent-level swap
+//!    primitive ([`BddManager::swap_adjacent_levels`]) and Rudell's
+//!    sifting on top of it ([`BddManager::sift`]). A swap rewires the
+//!    nodes of level *i* in terms of level *i+1* directly in the node
+//!    table: every node index keeps denoting the same function, so
+//!    external `NodeId`s (rooted or held as operands) survive a reorder
+//!    unchanged. The var↔level indirection in the manager
+//!    (`var2level`/`level2var`) is what the swap permutes; unique-table
+//!    identity stays keyed on variable ids. An auto-trigger
+//!    ([`BddManager::set_auto_reorder`]) fires sifting at operation
+//!    entry when the live count outgrows a threshold — the same safe
+//!    point as the PR 6 growth-threshold GC.
+//!
+//! 2. **Static window-permutation search** ([`best_window_order`]) —
+//!    the offline relative: evaluates candidate orders by *rebuilding*
+//!    the function under each permutation of a sliding window into a
+//!    fresh manager ([`rebuild_with_order`]). Still useful for
+//!    order-transfer between managers (the transfer layer's
+//!    diverged-order import path uses the same ITE-rebuild technique).
+//!
+//! # Swap invariants (the heart of the in-place path)
+//!
+//! For a node `n = (x, f0, f1)` at level *i* that depends on the level
+//! *i+1* variable `y`, the swap computes the four grandchildren
+//! cofactors and rewrites `n` in place as `(y, F0, F1)` with
+//! `F0 = mk(x, f00, f10)`, `F1 = mk(x, f01, f11)`. Complement-edge
+//! canonical form is preserved for free: the stored hi edge `f1` is
+//! regular, hence both its cofactors are regular, hence `F1` is regular.
+//! `F0 == F1` is impossible (it would make `n` independent of `y`), so
+//! `n` never collapses and its index — and every external `NodeId`
+//! pointing at it — stays valid. Nodes at level *i+1* that lose their
+//! last reference are reclaimed eagerly via reference counts. Computed
+//! caches survive a reorder almost intact: a cached result is a slot
+//! that kept its function and the table stayed canonical, so the entry
+//! is exactly what recomputation would return — only entries touching
+//! a slot freed during the run (a freed-then-reused slot would alias a
+//! stale entry) are evicted afterwards.
 
-use crate::manager::{BddManager, NodeId, OutOfNodes};
+use crate::hash::{FxHashMap, FxHashSet};
+use crate::manager::{BddManager, Node, NodeId, OutOfNodes, TERMINAL_VAR};
 
 /// Rebuilds `f` (expressed over variables in `order_from` positions) so
 /// that variable `order_to[i]` sits at level `i` of a fresh manager.
@@ -172,6 +199,474 @@ pub fn best_window_order(
     Ok((order, best_size))
 }
 
+/// Working state of one sifting run (or one explicit swap): exact
+/// per-node reference counts, the pin set, per-level node lists, and
+/// reusable scratch buffers. Reference counts let the swap primitive
+/// free dead level-*i+1* nodes eagerly and keep the live count exact —
+/// Rudell's size comparisons are only meaningful against exact sizes.
+struct SiftScratch {
+    /// Node index → number of stored parent edges among live nodes.
+    refs: Vec<u32>,
+    /// Indices that must never be freed: external roots plus the
+    /// operands of the in-flight operation that triggered the sift.
+    pinned: FxHashSet<u32>,
+    /// Level → candidate node indices. Entries are validated lazily
+    /// (an index belongs to the list iff its slot still holds the
+    /// level's variable), and the two lists touched by a swap are
+    /// repartitioned afterwards.
+    level_nodes: Vec<Vec<u32>>,
+    /// Exact live-node count (terminal included), maintained by the
+    /// swap's allocations and reclamations.
+    live: usize,
+    /// Whether dead nodes may be reclaimed. False when the manager has
+    /// no root set — then, as with GC, held ids are indistinguishable
+    /// from garbage and nothing is freed.
+    reclaim: bool,
+    /// Slot index → was freed at some point during this run (the slot
+    /// may since have been reused for a different function). Computed-
+    /// cache entries touching a stale slot are evicted afterwards; all
+    /// other entries stay valid, because surviving slots keep their
+    /// functions and the table stays canonical for the current order.
+    stale: Vec<bool>,
+    any_stale: bool,
+    /// Node rewrites performed so far (the unit of sifting cost: each
+    /// mover costs two `mk_sift` calls and a unique-table re-insert).
+    work: usize,
+    /// Rewrite budget for the whole run; exploration is abandoned once
+    /// it is exhausted (blocks still park at their best position, so
+    /// the walk stays deterministic and the order maps stay exact).
+    work_budget: usize,
+    movers: Vec<u32>,
+    created: Vec<u32>,
+    cand: Vec<u32>,
+    dec_stack: Vec<u32>,
+}
+
+/// Index of the block covering `level` in a level-ordered block list.
+fn block_index_of(blocks: &[Vec<u32>], level: usize) -> usize {
+    let mut start = 0;
+    for (k, b) in blocks.iter().enumerate() {
+        if level < start + b.len() {
+            return k;
+        }
+        start += b.len();
+    }
+    unreachable!("level {level} beyond the tracked order")
+}
+
+impl BddManager {
+    /// Swaps the variables at `level` and `level + 1` of the current
+    /// order, in place. Every `NodeId` — rooted or merely held — keeps
+    /// denoting the same function afterwards; only node counts change.
+    /// Computed-cache entries touching a slot the swap freed are
+    /// evicted (slot reuse would alias them); the rest stay valid.
+    /// Nodes left unreferenced by the rewiring are reclaimed if the
+    /// manager has a root set; unprotected ids then dangle exactly as
+    /// they would across a collection.
+    ///
+    /// This is the one-off public form of the primitive; sifting batches
+    /// many swaps over one [`SiftScratch`].
+    pub fn swap_adjacent_levels(&mut self, level: u32) {
+        let l = level as usize;
+        if l + 1 >= self.level2var.len() {
+            return;
+        }
+        let mut s = self.build_sift_scratch(&[]);
+        self.swap_levels_scratch(l, &mut s);
+        self.evict_stale_cache_entries(&s);
+    }
+
+    /// One full pass of Rudell's sifting over the current order: each
+    /// block of variables (declared pairs move as one 2-block, every
+    /// other variable alone), in decreasing order of node population, is
+    /// moved through all positions and parked where the live-node count
+    /// was smallest. A move direction is abandoned when the table grows
+    /// past 1.2× the best size seen for this block, or past 7/8 of the
+    /// node quota. Returns `(live nodes before, live nodes after)`.
+    ///
+    /// External `NodeId`s survive and keep their functions; unprotected
+    /// ids dangle as across a collection. Runs a collection first (when
+    /// a root set exists) so sizes are exact.
+    pub fn sift(&mut self) -> (usize, usize) {
+        self.sift_impl(&[], usize::MAX)
+    }
+
+    /// [`BddManager::sift`] with the in-flight operation's operands
+    /// pinned — the form the auto-reorder trigger calls from
+    /// `run_with_gc` entry. Unlike the explicit form, the auto path is
+    /// work-bounded: a full Rudell pass costs O(blocks × levels ×
+    /// level population) rewrites, which mid-computation would dwarf
+    /// the win, so exploration stops once the rewrite budget (a small
+    /// multiple of the live count) is spent. The most-populated blocks
+    /// sift first, so the budget goes to the best candidates.
+    pub(crate) fn sift_with_temps(&mut self, temps: &[NodeId]) -> (usize, usize) {
+        const AUTO_WORK_FACTOR: usize = 64;
+        self.sift_impl(temps, AUTO_WORK_FACTOR)
+    }
+
+    fn sift_impl(&mut self, temps: &[NodeId], work_factor: usize) -> (usize, usize) {
+        let nlevels = self.level2var.len();
+        let live0 = self.nodes.len() - self.free_list.len();
+        if nlevels < 2 {
+            return (live0, live0);
+        }
+        if !self.roots.is_empty() {
+            self.gc_with_temps(temps);
+        }
+        let mut s = self.build_sift_scratch(temps);
+        let before = s.live;
+        s.work_budget = before.saturating_mul(work_factor);
+        // Blocks in level order: a declared pair whose members sit
+        // adjacent becomes one 2-block (rename's order-preservation
+        // contract needs current/next twins to travel together);
+        // everything else is a singleton.
+        let pair_next: FxHashMap<u32, u32> = self.reorder_pairs.iter().copied().collect();
+        let mut blocks: Vec<Vec<u32>> = Vec::new();
+        let mut l = 0usize;
+        while l < nlevels {
+            let v = self.level2var[l];
+            if let Some(&w) = pair_next.get(&v) {
+                if l + 1 < nlevels && self.level2var[l + 1] == w {
+                    blocks.push(vec![v, w]);
+                    l += 2;
+                    continue;
+                }
+                debug_assert!(false, "reorder pair ({v},{w}) not adjacent at sift start");
+            }
+            blocks.push(vec![v]);
+            l += 1;
+        }
+        // Rudell's agenda: most-populated block first (ties broken by
+        // variable id for determinism). Population is a snapshot from
+        // before any moves; empty blocks are skipped outright.
+        let mut agenda: Vec<(usize, u32)> = Vec::new();
+        let mut start = 0usize;
+        for b in &blocks {
+            let mut pop = 0usize;
+            for lv in start..start + b.len() {
+                let expected = self.level2var[lv];
+                pop += s.level_nodes[lv]
+                    .iter()
+                    .filter(|&&i| self.nodes[i as usize].var == expected)
+                    .count();
+            }
+            agenda.push((pop, b[0]));
+            start += b.len();
+        }
+        agenda.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        for &(pop, rep) in &agenda {
+            if pop == 0 {
+                continue;
+            }
+            if s.work >= s.work_budget {
+                break;
+            }
+            let lvl = self.var2level[rep as usize] as usize;
+            let k0 = block_index_of(&blocks, lvl);
+            self.sift_block(&mut blocks, k0, &mut s);
+        }
+        self.evict_stale_cache_entries(&s);
+        self.reorders_run += 1;
+        self.reorder_nodes_before += before as u64;
+        self.reorder_nodes_after += s.live as u64;
+        self.last_reorder_live = s.live;
+        self.last_gc_live = s.live;
+        (before, s.live)
+    }
+
+    /// Computed-cache upkeep after in-place swaps: every surviving slot
+    /// kept its function and the table stayed canonical for the current
+    /// order, so a cached result is exactly what recomputation would
+    /// return. Only entries touching a slot freed during the run (whose
+    /// index may since have been reused for a different function) are
+    /// stale — evicting just those preserves the image computation's
+    /// memo across a reorder instead of forcing a full rebuild.
+    fn evict_stale_cache_entries(&mut self, s: &SiftScratch) {
+        if !s.any_stale {
+            return;
+        }
+        let stale = &s.stale;
+        let fresh = |id: NodeId| {
+            let i = id.index() as usize;
+            i >= stale.len() || !stale[i]
+        };
+        self.retain_op_caches(&mut |key, r, _| key.iter().all(|&k| fresh(k)) && fresh(r));
+    }
+
+    fn build_sift_scratch(&self, temps: &[NodeId]) -> SiftScratch {
+        let mut refs = vec![0u32; self.nodes.len()];
+        let mut level_nodes: Vec<Vec<u32>> = vec![Vec::new(); self.level2var.len()];
+        for (i, n) in self.nodes.iter().enumerate().skip(1) {
+            if n.var == TERMINAL_VAR {
+                continue; // free slot
+            }
+            if n.lo.index() != 0 {
+                refs[n.lo.index() as usize] += 1;
+            }
+            if n.hi.index() != 0 {
+                refs[n.hi.index() as usize] += 1;
+            }
+            level_nodes[self.var2level[n.var as usize] as usize].push(i as u32);
+        }
+        let mut pinned: FxHashSet<u32> = self.roots.keys().copied().collect();
+        pinned.extend(temps.iter().filter(|t| t.index() != 0).map(|t| t.index()));
+        SiftScratch {
+            refs,
+            pinned,
+            level_nodes,
+            live: self.nodes.len() - self.free_list.len(),
+            reclaim: !self.roots.is_empty(),
+            stale: vec![false; self.nodes.len()],
+            any_stale: false,
+            work: 0,
+            work_budget: usize::MAX,
+            movers: Vec::new(),
+            created: Vec::new(),
+            cand: Vec::new(),
+            dec_stack: Vec::new(),
+        }
+    }
+
+    /// Sifts the block at index `k0`: closer end of the order first,
+    /// then the other end, then back to the best position seen. The
+    /// live count at a given order is canonical (reclamation is exact),
+    /// so re-visiting a position re-measures the same size and the walk
+    /// is deterministic.
+    fn sift_block(&mut self, blocks: &mut [Vec<u32>], k0: usize, s: &mut SiftScratch) {
+        let n = blocks.len();
+        if n < 2 {
+            return;
+        }
+        let budget = (self.max_nodes - self.max_nodes / 8).max(2);
+        let mut k = k0;
+        let mut best = s.live;
+        let mut best_k = k0;
+        let down_first = n - 1 - k0 <= k0;
+        for pass in 0..2 {
+            let dir_down = if pass == 0 { down_first } else { !down_first };
+            loop {
+                if dir_down {
+                    if k + 1 >= n {
+                        break;
+                    }
+                    self.move_block_down(blocks, k, s);
+                    k += 1;
+                } else {
+                    if k == 0 {
+                        break;
+                    }
+                    self.move_block_down(blocks, k - 1, s);
+                    k -= 1;
+                }
+                if s.live < best {
+                    best = s.live;
+                    best_k = k;
+                }
+                // Max-growth factor 1.2 plus the hard node budget plus
+                // the rewrite budget: a direction that blows the table
+                // up — or has cost more moves than the whole run is
+                // worth — is abandoned (the park-back below still runs,
+                // so the block always ends at its best seen position).
+                if s.live > best + best / 5 || s.live > budget || s.work >= s.work_budget {
+                    break;
+                }
+            }
+        }
+        while k < best_k {
+            self.move_block_down(blocks, k, s);
+            k += 1;
+        }
+        while k > best_k {
+            self.move_block_down(blocks, k - 1, s);
+            k -= 1;
+        }
+    }
+
+    /// Exchanges blocks `k` and `k+1`: each member of the lower block
+    /// rises over the upper block one at a time (bottom-most first), so
+    /// both blocks keep their internal order and end up intact.
+    fn move_block_down(&mut self, blocks: &mut [Vec<u32>], k: usize, s: &mut SiftScratch) {
+        let l: usize = blocks[..k].iter().map(|b| b.len()).sum();
+        let w = blocks[k].len();
+        let u = blocks[k + 1].len();
+        for j in 0..u {
+            for t in ((l + j)..(l + w + j)).rev() {
+                self.swap_levels_scratch(t, s);
+            }
+        }
+        blocks.swap(k, k + 1);
+    }
+
+    /// The swap primitive over a prepared scratch: rewires level `l` in
+    /// terms of level `l+1` in place (see the module docs for the
+    /// invariant argument).
+    fn swap_levels_scratch(&mut self, l: usize, s: &mut SiftScratch) {
+        let x = self.level2var[l];
+        let y = self.level2var[l + 1];
+        s.movers.clear();
+        s.created.clear();
+        // Phase 1: find the x-nodes that depend on y and remove their
+        // unique entries up front — mk_sift must only ever hit
+        // y-independent x-nodes (which legitimately are the cofactor
+        // nodes being built), never a pending-rewrite key.
+        let xs = std::mem::take(&mut s.level_nodes[l]);
+        for &i in &xs {
+            let n = self.nodes[i as usize];
+            if n.var != x {
+                continue; // stale list entry (freed or reused slot)
+            }
+            if self.nodes[n.lo.index() as usize].var == y
+                || self.nodes[n.hi.index() as usize].var == y
+            {
+                self.unique.remove(&(x, n.lo, n.hi));
+                s.movers.push(i);
+            }
+        }
+        s.level_nodes[l] = xs;
+        // Phase 2: rewrite each mover in place as a y-node over fresh
+        // (or shared) x-children built from the grandchild cofactors.
+        s.work += s.movers.len();
+        for mi in 0..s.movers.len() {
+            let i = s.movers[mi];
+            let n = self.nodes[i as usize];
+            let (f0, f1) = (n.lo, n.hi);
+            let (f00, f01) = if self.var_of(f0) == y {
+                (self.lo(f0), self.hi(f0))
+            } else {
+                (f0, f0)
+            };
+            let (f10, f11) = if self.var_of(f1) == y {
+                (self.lo(f1), self.hi(f1))
+            } else {
+                (f1, f1)
+            };
+            let nf0 = self.mk_sift(x, f00, f10, s);
+            let nf1 = self.mk_sift(x, f01, f11, s);
+            debug_assert!(!nf1.is_complemented(), "swap must keep the stored hi edge regular");
+            debug_assert_ne!(nf0, nf1, "a y-dependent node cannot collapse in a swap");
+            // New references first, old references last: a shared child
+            // must not dip to zero in between and be reclaimed.
+            if nf0.index() != 0 {
+                s.refs[nf0.index() as usize] += 1;
+            }
+            if nf1.index() != 0 {
+                s.refs[nf1.index() as usize] += 1;
+            }
+            self.nodes[i as usize] = Node { var: y, lo: nf0, hi: nf1 };
+            let prev = self.unique.insert((y, nf0, nf1), NodeId::from_index(i));
+            debug_assert!(prev.is_none(), "swap rewrite collided in the unique table");
+            self.dec_ref_sift(f0, s);
+            self.dec_ref_sift(f1, s);
+        }
+        // Swap the order maps, then repartition the two level lists
+        // (plus anything the rewrites created) by current variable.
+        // Sort + dedup: a slot freed by one rewrite and reused by a
+        // later one can appear both as a stale list entry and in
+        // `created`.
+        self.level2var.swap(l, l + 1);
+        self.var2level[x as usize] = (l + 1) as u32;
+        self.var2level[y as usize] = l as u32;
+        s.cand.clear();
+        let mut ys_new = std::mem::take(&mut s.level_nodes[l]);
+        let mut xs_new = std::mem::take(&mut s.level_nodes[l + 1]);
+        s.cand.extend(ys_new.iter().copied());
+        s.cand.extend(xs_new.iter().copied());
+        s.cand.extend(s.created.iter().copied());
+        s.cand.sort_unstable();
+        s.cand.dedup();
+        ys_new.clear();
+        xs_new.clear();
+        for &i in &s.cand {
+            let v = self.nodes[i as usize].var;
+            if v == y {
+                ys_new.push(i);
+            } else if v == x {
+                xs_new.push(i);
+            }
+        }
+        s.level_nodes[l] = ys_new;
+        s.level_nodes[l + 1] = xs_new;
+    }
+
+    /// `mk` for the swap primitive: no quota check (a swap must be
+    /// infallible — failing halfway would tear a block apart and leave
+    /// the order maps lying about the table; the sifting policy enforces
+    /// the node budget *between* moves instead), and it maintains the
+    /// scratch reference counts, live count, and created-node list. The
+    /// new node's own reference starts at zero; the caller adds it.
+    fn mk_sift(&mut self, var: u32, lo: NodeId, hi: NodeId, s: &mut SiftScratch) -> NodeId {
+        if lo == hi {
+            return lo;
+        }
+        let neg = hi.0 & 1;
+        let (lo, hi) = (NodeId(lo.0 ^ neg), NodeId(hi.0 ^ neg));
+        if let Some(&id) = self.unique.get(&(var, lo, hi)) {
+            return NodeId(id.0 ^ neg);
+        }
+        let index = match self.free_list.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = Node { var, lo, hi };
+                i
+            }
+            None => {
+                self.nodes.push(Node { var, lo, hi });
+                (self.nodes.len() - 1) as u32
+            }
+        };
+        if s.refs.len() < self.nodes.len() {
+            s.refs.resize(self.nodes.len(), 0);
+            s.stale.resize(self.nodes.len(), false);
+        }
+        s.refs[index as usize] = 0;
+        if lo.index() != 0 {
+            s.refs[lo.index() as usize] += 1;
+        }
+        if hi.index() != 0 {
+            s.refs[hi.index() as usize] += 1;
+        }
+        self.unique.insert((var, lo, hi), NodeId::from_index(index));
+        self.total_allocated += 1;
+        s.live += 1;
+        if s.live > self.peak_live {
+            self.peak_live = s.live;
+        }
+        s.created.push(index);
+        NodeId(NodeId::from_index(index).0 ^ neg)
+    }
+
+    /// Drops one reference to `edge`'s node, reclaiming it (and
+    /// cascading into its children) when the count reaches zero and the
+    /// node is neither pinned nor in a reclaim-disabled run.
+    fn dec_ref_sift(&mut self, edge: NodeId, s: &mut SiftScratch) {
+        if edge.index() == 0 {
+            return;
+        }
+        debug_assert!(s.dec_stack.is_empty());
+        s.dec_stack.push(edge.index());
+        while let Some(i) = s.dec_stack.pop() {
+            debug_assert!(s.refs[i as usize] > 0, "refcount underflow in swap");
+            s.refs[i as usize] -= 1;
+            if s.refs[i as usize] == 0 && s.reclaim && !s.pinned.contains(&i) {
+                let n = self.nodes[i as usize];
+                self.unique.remove(&(n.var, n.lo, n.hi));
+                self.nodes[i as usize] =
+                    Node { var: TERMINAL_VAR, lo: NodeId::TRUE, hi: NodeId::TRUE };
+                self.free_list.push(i);
+                self.total_freed += 1;
+                s.stale[i as usize] = true;
+                s.any_stale = true;
+                s.live -= 1;
+                if n.lo.index() != 0 {
+                    s.dec_stack.push(n.lo.index());
+                }
+                if n.hi.index() != 0 {
+                    s.dec_stack.push(n.hi.index());
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,5 +805,148 @@ mod tests {
         let mut dst = BddManager::new(1 << 16);
         let g = rebuild_with_order(&src, f, &order, &mut dst).unwrap();
         assert_eq!(src.size(f), dst.size(g));
+    }
+
+    // ---- in-place dynamic reordering ----
+
+    /// Evaluates `f` on all `2^n` assignments (bit v of the index is
+    /// variable v's value — var-keyed, so order-independent).
+    fn truth_table(m: &BddManager, f: NodeId, n: u32) -> Vec<bool> {
+        (0..1u32 << n).map(|asg| m.eval(f, &|v| asg >> v & 1 == 1)).collect()
+    }
+
+    #[test]
+    fn adjacent_swap_preserves_ids_and_functions() {
+        let mut m = BddManager::new(1 << 16);
+        let f = chained_pairs(&mut m, &[(0, 3), (1, 4), (2, 5)]);
+        m.protect(f);
+        let tt = truth_table(&m, f, 6);
+        let size_before = m.size(f);
+        m.swap_adjacent_levels(0);
+        assert_eq!(m.level_of(0), 1, "var 0 moved down");
+        assert_eq!(m.level_of(1), 0, "var 1 moved up");
+        assert_eq!(truth_table(&m, f, 6), tt, "same NodeId, same function");
+        // Swapping back restores the identity order and the exact size.
+        m.swap_adjacent_levels(0);
+        assert_eq!(m.level_of(0), 0);
+        assert_eq!(truth_table(&m, f, 6), tt);
+        assert_eq!(m.size(f), size_before, "swap is size-involutive");
+    }
+
+    #[test]
+    fn swap_walks_a_variable_through_the_whole_order() {
+        let mut m = BddManager::new(1 << 16);
+        let f = chained_pairs(&mut m, &[(0, 3), (1, 4), (2, 5)]);
+        m.protect(f);
+        let tt = truth_table(&m, f, 6);
+        // Bubble var 0 to the bottom, one level at a time.
+        for l in 0..5 {
+            m.swap_adjacent_levels(l);
+            assert_eq!(m.level_of(0), l + 1);
+            assert_eq!(truth_table(&m, f, 6), tt, "after swap at level {l}");
+        }
+        assert_eq!(m.current_order(), vec![1, 2, 3, 4, 5, 0]);
+    }
+
+    #[test]
+    fn sift_shrinks_the_interleaved_pairs_function() {
+        // Under the identity order f = x0·x3 ∨ x1·x4 ∨ x2·x5 is the
+        // exponential interleaving; sifting must find a pairing order.
+        let mut m = BddManager::new(1 << 16);
+        let f = chained_pairs(&mut m, &[(0, 3), (1, 4), (2, 5)]);
+        m.protect(f);
+        let tt = truth_table(&m, f, 6);
+        let size_before = m.size(f);
+        let (before, after) = m.sift();
+        assert!(after < before, "sift must shrink {before} -> {after}");
+        assert!(m.size(f) < size_before);
+        assert!(m.size(f) <= 8, "pairing order is linear, got {}", m.size(f));
+        assert_eq!(truth_table(&m, f, 6), tt, "external id survives the sift");
+        let (r, b, a) = m.reorder_stats();
+        assert_eq!(r, 1);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn sift_then_gc_keeps_rooted_functions() {
+        let mut m = BddManager::new(1 << 16);
+        let f = chained_pairs(&mut m, &[(0, 3), (1, 4), (2, 5)]);
+        let g = {
+            let a = m.var(1).unwrap();
+            let b = m.var(5).unwrap();
+            m.xor(a, b).unwrap()
+        };
+        m.protect(f);
+        m.protect(g);
+        let tf = truth_table(&m, f, 6);
+        let tg = truth_table(&m, g, 6);
+        m.sift();
+        m.gc();
+        assert_eq!(truth_table(&m, f, 6), tf);
+        assert_eq!(truth_table(&m, g, 6), tg);
+        // Ops still work against the reordered table.
+        let fg = m.and(f, g).unwrap();
+        for asg in 0..64u32 {
+            let want = tf[asg as usize] && tg[asg as usize];
+            assert_eq!(m.eval(fg, &|v| asg >> v & 1 == 1), want);
+        }
+    }
+
+    #[test]
+    fn sift_keeps_declared_pairs_adjacent() {
+        let mut m = BddManager::new(1 << 16);
+        // Pairs (0,1) and (2,3) declared adjacent; the function wants
+        // the cross pairing (0,2)(1,3), so sifting will move blocks.
+        let f = chained_pairs(&mut m, &[(0, 2), (1, 3)]);
+        m.protect(f);
+        m.set_reorder_pairs(vec![(0, 1), (2, 3)]);
+        let tt = truth_table(&m, f, 4);
+        m.sift();
+        assert_eq!(m.level_of(0) + 1, m.level_of(1), "pair (0,1) stays adjacent");
+        assert_eq!(m.level_of(2) + 1, m.level_of(3), "pair (2,3) stays adjacent");
+        assert_eq!(truth_table(&m, f, 4), tt);
+    }
+
+    #[test]
+    fn auto_reorder_fires_on_growth_and_preserves_functions() {
+        let mut m = BddManager::new(1 << 16);
+        let f = chained_pairs(&mut m, &[(0, 4), (1, 5), (2, 6), (3, 7)]);
+        m.protect(f);
+        let tt = truth_table(&m, f, 8);
+        m.set_auto_reorder(Some(8));
+        // Grow the table past the threshold AND to 2x its armed size
+        // (the geometric backoff gates on both): the next op entry
+        // fires it. The accumulator is re-rooted each step —
+        // unprotected ids dangle across a reorder exactly as across a
+        // collection.
+        let mut acc = NodeId::FALSE;
+        for v in 0..64u32 {
+            let x = m.var(v).unwrap();
+            let next = m.xor(acc, x).unwrap();
+            m.reroot(acc, next);
+            acc = next;
+        }
+        assert!(m.reorder_stats().0 >= 1, "auto trigger must have fired");
+        assert_eq!(truth_table(&m, f, 8), tt, "rooted id survives auto-reorder");
+        assert!(!acc.is_terminal());
+    }
+
+    #[test]
+    fn auto_reorder_stays_disarmed_without_roots() {
+        let mut m = BddManager::new(1 << 16);
+        let _f = chained_pairs(&mut m, &[(0, 2), (1, 3)]);
+        m.set_auto_reorder(Some(1));
+        let _ = chained_pairs(&mut m, &[(0, 3), (1, 2)]);
+        assert_eq!(m.reorder_stats().0, 0, "no reorder without a root set");
+    }
+
+    #[test]
+    fn count_sat_uses_levels_after_reorder() {
+        let mut m = BddManager::new(1 << 16);
+        let f = chained_pairs(&mut m, &[(0, 3), (1, 4), (2, 5)]);
+        m.protect(f);
+        let want = m.count_sat(f, 6);
+        m.sift();
+        assert_eq!(m.count_sat(f, 6), want, "count_sat is order-invariant");
     }
 }

@@ -9,13 +9,24 @@
 //! checkpoint format (a [`ExportedBdd`] owns no manager references and
 //! is `Send`).
 //!
-//! The format is a *level-ordered* list: nodes sorted by variable level,
-//! deepest level first. Since a ROBDD parent's level is strictly above
-//! its children's, every node's children precede it in the list, so
-//! [`import`] is a single forward pass with no fixups. Edges are stored
-//! exactly as the manager holds them (complement tag in bit 0, regular
-//! then-edges per the canonical form), so a roundtrip preserves the node
-//! count, not just the function.
+//! The format is a *level-ordered* list: nodes sorted by the source
+//! manager's **current** variable level (dynamic reordering can move
+//! vars, so level ≠ var id), deepest level first. Since a ROBDD parent's
+//! level is strictly above its children's, every node's children precede
+//! it in the list, so [`import`] is a single forward pass with no
+//! fixups. Edges are stored exactly as the manager holds them
+//! (complement tag in bit 0, regular then-edges per the canonical form),
+//! so a same-order roundtrip preserves the node count, not just the
+//! function.
+//!
+//! Every export also carries the source order
+//! ([`ExportedBdd::source_order`]): a fresh importing manager can adopt
+//! it up front ([`BddManager::adopt_order`]) to rebuild the cone at its
+//! exported size. When the destination's order has diverged (each side
+//! sifts independently), [`import`] stays correct anyway: each node is
+//! rebuilt with the fast `mk` path only while the destination agrees the
+//! parent sits above its children, and falls back to a full ITE rebuild
+//! for the nodes where the orders disagree.
 
 use crate::hash::FxHashMap;
 use crate::manager::{BddManager, NodeId, OutOfNodes};
@@ -71,6 +82,9 @@ pub struct ExportedBdd {
     /// Level-ordered (deepest variable first): children precede parents.
     nodes: Vec<ExportedNode>,
     root: SlotRef,
+    /// The source manager's variable order at export time
+    /// (`level2var`: entry `l` is the variable sitting at level `l`).
+    order: Vec<u32>,
 }
 
 impl ExportedBdd {
@@ -84,6 +98,17 @@ impl ExportedBdd {
     /// True if the exported function is a constant.
     pub fn is_constant(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// The source manager's variable order at export time, root level
+    /// first. A fresh receiving manager can
+    /// [`BddManager::adopt_order`] this before [`import`] to rebuild
+    /// the cone at exactly its exported size; a receiver with live
+    /// state can compare it against its own
+    /// [`BddManager::current_order`] to predict whether the import is
+    /// a pure `mk` replay or has to pay ITE rebuilds.
+    pub fn source_order(&self) -> &[u32] {
+        &self.order
     }
 }
 
@@ -99,6 +124,7 @@ pub fn export(src: &BddManager, f: NodeId) -> ExportedBdd {
         return ExportedBdd {
             nodes: Vec::new(),
             root: SlotRef(f.0), // terminal encodings coincide
+            order: src.current_order(),
         };
     }
     // Collect the reachable node indices (complement tags ignored: f and
@@ -120,11 +146,13 @@ pub fn export(src: &BddManager, f: NodeId) -> ExportedBdd {
             stack.push(node.hi.index());
         }
     }
-    // Level order, deepest first; ties broken by source index so the
-    // layout is deterministic for a given manager state.
+    // Level order (the source's *current* level, not the var id — they
+    // diverge once dynamic reordering has run), deepest first; ties
+    // broken by source index so the layout is deterministic for a given
+    // manager state.
     indices.sort_unstable_by(|a, b| {
-        let (va, vb) = (src.node(*a).var, src.node(*b).var);
-        vb.cmp(&va).then(a.cmp(b))
+        let (la, lb) = (src.level_of(src.node(*a).var), src.level_of(src.node(*b).var));
+        lb.cmp(&la).then(a.cmp(b))
     });
     for (slot, i) in indices.iter().enumerate() {
         seen.insert(*i, slot);
@@ -143,12 +171,50 @@ pub fn export(src: &BddManager, f: NodeId) -> ExportedBdd {
             ExportedNode { var: node.var, lo: translate(node.lo), hi: translate(node.hi) }
         })
         .collect();
-    ExportedBdd { nodes, root: translate(f) }
+    ExportedBdd { nodes, root: translate(f), order: src.current_order() }
+}
+
+/// Rebuilds one exported node inside `dst` from already-resolved
+/// children. Fast path: when `dst`'s current order agrees that the
+/// node's variable sits above both children, the stored shape replays
+/// with a single `mk`; the level check runs inside the same
+/// `run_with_gc` frame as the `mk`, so an auto-reorder firing at the
+/// operation entry point cannot stale it. When the orders disagree
+/// (the destination has sifted away from the export's order), the node
+/// is re-expressed as `ite(var, hi, lo)`, which re-normalizes that
+/// piece of the cone to `dst`'s order. The caller keeps `lo`/`hi`
+/// protected, so the intermediate variable node needs no registration
+/// of its own.
+fn build_node(
+    dst: &mut BddManager,
+    n: ExportedNode,
+    lo: NodeId,
+    hi: NodeId,
+) -> Result<NodeId, OutOfNodes> {
+    let fast = dst.run_with_gc(&[lo, hi], |m| {
+        let vl = m.level_of(n.var);
+        let above = |e: NodeId| e.is_terminal() || vl < m.level_of(m.var_of(e));
+        if above(lo) && above(hi) {
+            m.mk(n.var, lo, hi).map(Some)
+        } else {
+            Ok(None)
+        }
+    })?;
+    match fast {
+        Some(r) => Ok(r),
+        None => {
+            let v = dst.var(n.var)?;
+            dst.ite(v, hi, lo)
+        }
+    }
 }
 
 /// Rebuilds an exported function inside `dst`, which may be a different
 /// manager in any state (fresh, mid-computation, another thread's) as
-/// long as it uses the same variable numbering.
+/// long as it uses the same variable numbering. The two managers'
+/// variable *orders* need not agree: nodes whose placement `dst`
+/// disputes are rebuilt through ITE (see [`ExportedBdd::source_order`]
+/// for how a fresh receiver can avoid even that).
 ///
 /// The import is memoized per list slot — shared subgraphs are built
 /// once — and the returned root arrives **rooted**: it carries one
@@ -184,7 +250,7 @@ pub fn import(exported: &ExportedBdd, dst: &mut BddManager) -> Result<NodeId, Ou
     for n in &exported.nodes {
         let lo = resolve(&memo, n.lo);
         let hi = resolve(&memo, n.hi);
-        match dst.run_with_gc(&[lo, hi], |m| m.mk(n.var, lo, hi)) {
+        match build_node(dst, *n, lo, hi) {
             Ok(r) => {
                 dst.protect(r);
                 memo.push(r);
@@ -237,9 +303,21 @@ pub struct DeltaBdd {
     /// point into the baseline section of the combined slot space.
     nodes: Vec<ExportedNode>,
     root: SlotRef,
+    /// The source manager's variable order when the delta was taken
+    /// (same convention as [`ExportedBdd::source_order`]).
+    order: Vec<u32>,
 }
 
 impl DeltaBdd {
+    /// The source manager's variable order when the delta was taken,
+    /// root level first. If the source has sifted since the baseline
+    /// was exported this differs from the baseline's order — the
+    /// receiver can still import (per-node order checks handle it) but
+    /// may want to resynchronize its own order at a round boundary.
+    pub fn source_order(&self) -> &[u32] {
+        &self.order
+    }
+
     /// Number of nodes actually shipped (the baseline-overlap savings:
     /// a full [`export`] of the same function ships its whole cone).
     pub fn delta_node_count(&self) -> usize {
@@ -326,7 +404,10 @@ impl DeltaBdd {
         } else {
             SlotRef::to_slot(new_slot[self.root.slot()], self.root.is_complemented())
         };
-        ExportedBdd { nodes, root }
+        // The delta's order is the freshest view of the source manager,
+        // so the rebased baseline carries it forward; both sides rebase
+        // from the same delta, so they still agree structurally.
+        ExportedBdd { nodes, root, order: self.order.clone() }
     }
 }
 
@@ -344,7 +425,12 @@ impl DeltaBdd {
 pub fn export_delta(src: &BddManager, f: NodeId, baseline: &ExportedBdd) -> DeltaBdd {
     let b = baseline.nodes.len();
     if f.is_terminal() {
-        return DeltaBdd { baseline_len: b, nodes: Vec::new(), root: SlotRef(f.0) };
+        return DeltaBdd {
+            baseline_len: b,
+            nodes: Vec::new(),
+            root: SlotRef(f.0),
+            order: src.current_order(),
+        };
     }
     // Forward pass: resolve baseline slots to src node ids where the
     // structure still exists (children precede parents, so each slot
@@ -389,10 +475,11 @@ pub fn export_delta(src: &BddManager, f: NodeId, baseline: &ExportedBdd) -> Delt
             }
         }
     }
-    // Same deterministic layout rule as `export` for the shipped part.
+    // Same deterministic layout rule as `export` for the shipped part:
+    // current source level, deepest first.
     indices.sort_unstable_by(|a, b| {
-        let (va, vb) = (src.node(*a).var, src.node(*b).var);
-        vb.cmp(&va).then(a.cmp(b))
+        let (la, lb) = (src.level_of(src.node(*a).var), src.level_of(src.node(*b).var));
+        lb.cmp(&la).then(a.cmp(b))
     });
     for (slot, i) in indices.iter().enumerate() {
         seen.insert(*i, slot);
@@ -413,7 +500,7 @@ pub fn export_delta(src: &BddManager, f: NodeId, baseline: &ExportedBdd) -> Delt
             ExportedNode { var: node.var, lo: translate(node.lo), hi: translate(node.hi) }
         })
         .collect();
-    DeltaBdd { baseline_len: b, nodes, root: translate(f) }
+    DeltaBdd { baseline_len: b, nodes, root: translate(f), order: src.current_order() }
 }
 
 /// Rebuilds a delta-encoded function inside `dst`, given the same
@@ -494,7 +581,7 @@ pub fn import_delta(
         };
         let lo = resolve(&memo, n.lo);
         let hi = resolve(&memo, n.hi);
-        match dst.run_with_gc(&[lo, hi], |m| m.mk(n.var, lo, hi)) {
+        match build_node(dst, n, lo, hi) {
             Ok(r) => {
                 dst.protect(r);
                 built.push(r);
@@ -793,6 +880,98 @@ mod tests {
         let mut dst = BddManager::new(4);
         assert!(import_delta(&delta, &baseline, &mut dst).is_err());
         assert_eq!(dst.num_roots(), 0, "failed delta import must unwind its roots");
+    }
+
+    /// `(x0 ∧ xk) ∨ (x1 ∧ x{k+1}) ∨ …` — exponential under the identity
+    /// order, linear once sifting pairs the operands up.
+    fn distant_pairs(m: &mut BddManager, k: u32) -> NodeId {
+        let mut f = NodeId::FALSE;
+        for i in 0..k {
+            let a = m.var(i).unwrap();
+            let b = m.var(i + k).unwrap();
+            let t = m.and(a, b).unwrap();
+            f = m.or(f, t).unwrap();
+        }
+        f
+    }
+
+    #[test]
+    fn roundtrip_from_sifted_source_into_identity_receiver() {
+        let mut src = BddManager::new(1 << 16);
+        let f = distant_pairs(&mut src, 3);
+        src.protect(f);
+        src.sift();
+        let identity: Vec<u32> = (0..6).collect();
+        assert_ne!(src.current_order(), identity, "sift must actually move variables");
+        let e = export(&src, f);
+        assert_eq!(e.source_order(), &src.current_order()[..]);
+        // Identity-order receiver: the ITE fallback re-normalizes.
+        let mut dst = BddManager::new(1 << 16);
+        let g = import(&e, &mut dst).unwrap();
+        for asg in assignments(6) {
+            let assign = |v: u32| asg >> v & 1 == 1;
+            assert_eq!(dst.eval(g, &assign), src.eval(f, &assign), "assignment {asg:06b}");
+        }
+        // A receiver that adopts the source order replays the cone at
+        // its exported size, pure-`mk`.
+        let mut adopted = BddManager::new(1 << 16);
+        adopted.adopt_order(e.source_order());
+        let h = import(&e, &mut adopted).unwrap();
+        assert_eq!(adopted.size(h), e.node_count(), "adopted order preserves the shape");
+        for asg in assignments(6) {
+            let assign = |v: u32| asg >> v & 1 == 1;
+            assert_eq!(adopted.eval(h, &assign), src.eval(f, &assign));
+        }
+    }
+
+    #[test]
+    fn roundtrip_from_identity_source_into_reordered_receiver() {
+        let mut src = BddManager::new(1 << 16);
+        let f = xor_chain(&mut src, &[0, 1, 2, 3]);
+        let e = export(&src, f);
+        let mut dst = BddManager::new(1 << 16);
+        dst.adopt_order(&[3, 1, 0, 2]);
+        let g = import(&e, &mut dst).unwrap();
+        assert_eq!(dst.size(g), e.node_count(), "xor cone is order-invariant in size");
+        for asg in assignments(4) {
+            let assign = |v: u32| asg >> v & 1 == 1;
+            assert_eq!(dst.eval(g, &assign), src.eval(f, &assign), "assignment {asg:04b}");
+        }
+    }
+
+    #[test]
+    fn delta_across_a_source_reorder_stays_correct() {
+        // Baseline exported under the identity order, then the source
+        // sifts before taking the delta: baseline recognition degrades
+        // gracefully (sifting rewrites structure, so matches may be
+        // lost) and the receiver imports correctly either way.
+        let mut src = BddManager::new(1 << 16);
+        let f = distant_pairs(&mut src, 3);
+        src.protect(f);
+        let baseline = export(&src, f);
+        let mut dst = BddManager::new(1 << 16);
+        let imported_baseline = import(&baseline, &mut dst).unwrap();
+        src.sift();
+        let extra = src.var(6).unwrap();
+        let g = src.or(f, extra).unwrap();
+        src.protect(g);
+        let delta = export_delta(&src, g, &baseline);
+        assert_eq!(delta.source_order(), &src.current_order()[..]);
+        assert_ne!(
+            delta.source_order(),
+            baseline.source_order(),
+            "orders must have diverged for this test to bite"
+        );
+        let h = import_delta(&delta, &baseline, &mut dst).unwrap();
+        for asg in assignments(7) {
+            let assign = |v: u32| asg >> v & 1 == 1;
+            assert_eq!(dst.eval(h, &assign), src.eval(g, &assign), "assignment {asg:07b}");
+        }
+        // The rebased next-round baseline carries the delta's order.
+        let rebased = delta.rebase(&baseline);
+        assert_eq!(rebased.source_order(), delta.source_order());
+        dst.unprotect(imported_baseline);
+        dst.unprotect(h);
     }
 
     #[test]

@@ -23,6 +23,7 @@ fn partition(c: &mut Criterion) {
     // allocated) are visible in review alongside the timings.
     let mono_peak = std::cell::Cell::new(0usize);
     let mono_par_peak = std::cell::Cell::new(0usize);
+    let mono_sift_peak = std::cell::Cell::new(0usize);
     let part_gen_peak = std::cell::Cell::new(0usize);
     let part_tight_peak = std::cell::Cell::new(0usize);
     let part_par_workers = std::cell::RefCell::new(Vec::<PartitionWorkerStats>::new());
@@ -51,6 +52,24 @@ fn partition(c: &mut Criterion) {
             let r = check(&aig, &mono_parallel);
             assert!(!r.verdict.is_falsified());
             mono_par_peak.set(r.stats.bdd_nodes);
+            std::hint::black_box(r)
+        })
+    });
+    // The same monolithic check with dynamic variable reordering armed.
+    // Verdict and round count are guaranteed identical to
+    // monolithic_generous; the delta between the two ids is the whole
+    // point. On this memout-bound run the expected delta is ~zero: the
+    // auto-trigger freezes the order once the table passes quota/16,
+    // because a better order only delays the quota death (it compresses
+    // the intermediates, so more image work fits under the quota before
+    // the engine gives up). The id exists to pin that neutrality — any
+    // drift means the trigger policy changed cost on the blowup path.
+    let mono_sift = CheckOptions::builder().dynamic_reorder(true).build();
+    group.bench_function("monolithic_sift", |b| {
+        b.iter(|| {
+            let r = check(&aig, &mono_sift);
+            assert!(!r.verdict.is_falsified());
+            mono_sift_peak.set(r.stats.bdd_nodes);
             std::hint::black_box(r)
         })
     });
@@ -94,6 +113,7 @@ fn partition(c: &mut Criterion) {
 
     println!("fig7/monolithic_generous  peak_live {} nodes", mono_peak.get());
     println!("fig7/monolithic_parallel  peak_live {} nodes", mono_par_peak.get());
+    println!("fig7/monolithic_sift  peak_live {} nodes", mono_sift_peak.get());
     println!("fig7/partitioned_generous  peak_live {} nodes", part_gen_peak.get());
     println!("fig7/partitioned_tight  peak_live {} nodes", part_tight_peak.get());
     let workers = part_par_workers.borrow();

@@ -1,0 +1,57 @@
+//! Dev probe for the `fig7/monolithic_sift` bench id: runs the Fig. 7
+//! chain monolithically with dynamic reordering off and on (plus the
+//! sat-only and umc-only halves, to attribute time between engines)
+//! and prints verdict/iteration identity, peak live nodes, reorder
+//! counters and wall-clock per configuration.
+//!
+//! ```text
+//! cargo run --release -p veridic-bench --example sift_probe
+//! ```
+
+use std::time::Instant;
+use veridic::prelude::*;
+use veridic_bench::aig_of;
+
+fn main() {
+    let module = demo_chain_module(12);
+    let vm = make_verifiable(&module).unwrap();
+    let vunits = generate_all(&vm).unwrap();
+    let (_, integ) = vunits
+        .iter()
+        .find(|(g, _)| g.ptype == PropertyType::OutputIntegrity)
+        .unwrap();
+    let aig = aig_of(integ);
+    let cases: Vec<(&str, CheckOptions)> = vec![
+        ("sat_only        ", CheckOptions::builder().sat_only(true).build()),
+        (
+            "umc       off  ",
+            CheckOptions::builder().bdd_only(true).pobdd_window_vars(0).build(),
+        ),
+        (
+            "umc       sift ",
+            CheckOptions::builder()
+                .bdd_only(true)
+                .pobdd_window_vars(0)
+                .dynamic_reorder(true)
+                .build(),
+        ),
+        ("full      off  ", CheckOptions::builder().build()),
+        ("full      sift ", CheckOptions::builder().dynamic_reorder(true).build()),
+    ];
+    for (label, opts) in cases {
+        let t = Instant::now();
+        let r = check(&aig, &opts);
+        println!(
+            "{label} verdict_resourceout={} iters={} peak={} alloc={} \
+             reorders={} before={} after={} wall={:.2?}",
+            matches!(r.verdict, Verdict::ResourceOut { .. }),
+            r.stats.iterations,
+            r.stats.bdd_nodes,
+            r.stats.bdd_allocated,
+            r.stats.reorders,
+            r.stats.reorder_nodes_before,
+            r.stats.reorder_nodes_after,
+            t.elapsed()
+        );
+    }
+}

@@ -24,6 +24,33 @@ use std::collections::BTreeMap;
 /// its baseline fails a `--fail-on-regression` run.
 const GATE_THRESHOLD_PCT: f64 = 25.0;
 
+/// Baseline metadata key recording `available_parallelism()` on the
+/// host that took the snapshot. Wall-clock comparisons between hosts
+/// with different core counts are apples-to-oranges for the parallel
+/// bench ids (`monolithic_parallel`, `partitioned_parallel`, ...), so
+/// a mismatch earns a prominent advisory warning (never a gate
+/// failure: node counts stay deterministic regardless).
+const HOST_CORES_KEY: &str = "host_available_parallelism";
+
+/// The warning line for a snapshot-host/current-host core-count
+/// mismatch, or `None` when the counts agree. A baseline without the
+/// key (pre-PR-7 snapshots) also warns, so stale baselines surface.
+fn core_count_warning(baseline_cores: Option<f64>, host_cores: usize) -> Option<String> {
+    match baseline_cores {
+        Some(b) if b as usize == host_cores => None,
+        Some(b) => Some(format!(
+            "WARNING: baseline was recorded on a {}-core host but this host has {} \
+             (available_parallelism); wall-clock deltas on parallel bench ids are \
+             not comparable",
+            b as usize, host_cores
+        )),
+        None => Some(format!(
+            "WARNING: baseline records no `{HOST_CORES_KEY}`; this host has \
+             {host_cores} cores and parallel bench timings may not be comparable"
+        )),
+    }
+}
+
 /// The `--fail-on-regression` verdicts: every baseline bench id under
 /// `prefix` that regressed past [`GATE_THRESHOLD_PCT`] or is absent
 /// from the current run, as human-readable lines. Empty means the gate
@@ -89,23 +116,28 @@ fn main() {
 
     let full_baseline = parse_baseline(&baseline_text);
     // Node baselines are stored flat alongside the timings under
-    // "nodes:<bench-id>" keys.
+    // "nodes:<bench-id>" keys; numeric host metadata ("host_..." keys)
+    // is split out so it never lands in the timing comparison.
     let mut baseline = BTreeMap::new();
     let mut node_baseline = BTreeMap::new();
+    let mut baseline_cores = None;
     for (k, v) in full_baseline {
-        match k.strip_prefix("nodes:") {
-            Some(name) => {
-                node_baseline.insert(name.to_string(), v);
-            }
-            None => {
-                baseline.insert(k, v);
-            }
+        if k == HOST_CORES_KEY {
+            baseline_cores = Some(v);
+        } else if let Some(name) = k.strip_prefix("nodes:") {
+            node_baseline.insert(name.to_string(), v);
+        } else {
+            baseline.insert(k, v);
         }
     }
     let current = parse_bench_output(&output);
     let current_nodes = parse_peak_nodes(&output);
 
     println!("Bench comparison vs {baseline_path} (advisory)");
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if let Some(warning) = core_count_warning(baseline_cores, host_cores) {
+        println!("{warning}");
+    }
     println!("{:<42} {:>12} {:>12} {:>9}", "bench", "baseline", "current", "delta");
     let mut missing: Vec<&str> = Vec::new();
     for (name, base_s) in &baseline {
@@ -319,6 +351,27 @@ mod tests {
         current.insert("fig7/monolithic_generous".to_string(), 12.0); // +20%
         current.insert("fig7/gone".to_string(), 2.0);
         assert!(gate_failures(&baseline, &current, "fig7/").is_empty());
+    }
+
+    #[test]
+    fn core_count_mismatch_warns_but_match_is_silent() {
+        assert!(core_count_warning(Some(4.0), 4).is_none());
+        let w = core_count_warning(Some(4.0), 1).unwrap();
+        assert!(w.contains("4-core") && w.contains("has 1"), "{w}");
+        let missing = core_count_warning(None, 8).unwrap();
+        assert!(missing.contains(HOST_CORES_KEY), "{missing}");
+    }
+
+    #[test]
+    fn host_cores_key_is_metadata_not_a_bench_id() {
+        let text = format!(
+            "{{\n  \"{HOST_CORES_KEY}\": 1,\n  \"fig7/monolithic_generous\": 60.91\n}}\n"
+        );
+        let m = parse_baseline(&text);
+        // The flat parser keeps it (it is numeric); main() must split it
+        // out before the timing comparison — this pins that it parses.
+        assert_eq!(m[HOST_CORES_KEY], 1.0);
+        assert_eq!(m.len(), 2);
     }
 
     #[test]

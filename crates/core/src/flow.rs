@@ -503,12 +503,12 @@ mod tests {
                 veridic_mc::BddWorkerStats {
                     peak_live_nodes: 10,
                     allocated: 100,
-                    quota_hit: false,
+                    ..Default::default()
                 },
                 veridic_mc::BddWorkerStats {
                     peak_live_nodes: 25,
                     allocated: 80,
-                    quota_hit: false,
+                    ..Default::default()
                 },
             ],
             ..CheckStats::default()

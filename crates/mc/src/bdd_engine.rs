@@ -343,7 +343,34 @@ pub fn bdd_umc(
     max_iterations: usize,
     stats: &mut CheckStats,
 ) -> BddEngineOutcome {
-    bdd_umc_session(aig, node_quota, max_iterations, 1, stats, &mut Budget::unlimited(), None)
+    bdd_umc_session(
+        aig,
+        node_quota,
+        max_iterations,
+        1,
+        false,
+        stats,
+        &mut Budget::unlimited(),
+        None,
+    )
+}
+
+/// Arms in-place dynamic reordering on a manager holding a transition
+/// system: every latch's current/next twin `(2i, 2i+1)` is pinned as a
+/// 2-block so the interleaved rename stays order-preserving through
+/// sifting, and the growth trigger scales with the quota the same way
+/// the lane GC threshold does. Verdict-neutral by construction — a
+/// reorder changes node placement, never the functions the rooted ids
+/// denote.
+pub(crate) fn arm_dynamic_reorder(mgr: &mut BddManager, num_latches: usize, node_quota: usize) {
+    mgr.set_reorder_pairs((0..num_latches as u32).map(|i| (2 * i, 2 * i + 1)).collect());
+    // Fire the first sift while the table is still small (1/32 of the
+    // quota): the order learned early on the design's structure rides
+    // through any later blowup, and the manager's geometric backoff +
+    // quota/16 ceiling keep the total reorder cost bounded — and keep
+    // sifting away from memout-bound runs, where a better order only
+    // delays the quota death.
+    mgr.set_auto_reorder(Some((node_quota / 32).max(1 << 12)));
 }
 
 /// [`bdd_umc`] under a cooperative round [`Budget`], optionally resumed
@@ -368,11 +395,19 @@ pub fn bdd_umc(
 /// on [`parallel_umc_session`] — verdict, depth and iteration count are
 /// identical to serial for every worker count, and all manager-level
 /// statistics are identical across parallel worker counts.
+///
+/// `dynamic_reorder` arms automatic in-place variable sifting (see
+/// [`veridic_bdd::BddManager::sift`]) on every manager the session
+/// creates — the serial manager, the coordinator and each image lane.
+/// Verdict, depth and iteration count are unaffected; only node counts
+/// and wall-clock move.
+#[allow(clippy::too_many_arguments)]
 pub fn bdd_umc_session(
     aig: &Aig,
     node_quota: usize,
     max_iterations: usize,
     image_workers: usize,
+    dynamic_reorder: bool,
     stats: &mut CheckStats,
     budget: &mut Budget,
     resume: Option<&ReachCheckpoint>,
@@ -386,6 +421,10 @@ pub fn bdd_umc_session(
             return BddEngineOutcome::ResourceOut;
         }
     };
+    if dynamic_reorder {
+        let n_latches = ts.num_latches();
+        arm_dynamic_reorder(&mut ts.mgr, n_latches, node_quota);
+    }
     let workers = effective_image_workers(image_workers);
     if workers > 1 {
         // The lane split is derived from the transition system alone, so
@@ -401,6 +440,7 @@ pub fn bdd_umc_session(
                 node_quota,
                 max_iterations,
                 workers,
+                dynamic_reorder,
                 &split,
                 stats,
                 budget,
@@ -453,6 +493,7 @@ pub fn bdd_umc_session(
     })();
     stats.bdd_nodes = stats.bdd_nodes.max(ts.mgr.peak_live_nodes());
     stats.bdd_allocated += ts.mgr.total_allocated();
+    fold_reorder_stats(stats, &ts.mgr);
     match outcome {
         Ok(o) => o,
         Err(_) => {
@@ -473,6 +514,15 @@ pub fn bdd_umc_session(
 /// every manager's op sequence, and with it all statistics, is
 /// worker-count-invariant.
 const IMAGE_LANE_VARS: u32 = 2;
+
+/// Folds a manager's lifetime reordering counters into the check's
+/// aggregate [`CheckStats`] (also used by the POBDD engine).
+pub(crate) fn fold_reorder_stats(stats: &mut CheckStats, mgr: &BddManager) {
+    let (runs, before, after) = mgr.reorder_stats();
+    stats.reorders += runs;
+    stats.reorder_nodes_before += before;
+    stats.reorder_nodes_after += after;
+}
 
 /// Resolves [`crate::CheckOptions::image_workers`]: `0` means one per
 /// available CPU.
@@ -599,6 +649,7 @@ fn parallel_umc_session(
     node_quota: usize,
     max_iterations: usize,
     workers: usize,
+    dynamic_reorder: bool,
     split: &[u32],
     stats: &mut CheckStats,
     budget: &mut Budget,
@@ -615,7 +666,17 @@ fn parallel_umc_session(
             let up = up_tx.clone();
             to_lanes.push(down_tx);
             handles.push(s.spawn(move || {
-                image_lane_worker(aig, tid, nthreads, nlanes, split, node_quota, &down_rx, &up)
+                image_lane_worker(
+                    aig,
+                    tid,
+                    nthreads,
+                    nlanes,
+                    split,
+                    node_quota,
+                    dynamic_reorder,
+                    &down_rx,
+                    &up,
+                )
             }));
         }
         // Only the lane threads hold senders now: if every thread died,
@@ -644,10 +705,14 @@ fn parallel_umc_session(
     });
     stats.bdd_nodes = stats.bdd_nodes.max(ts.mgr.peak_live_nodes());
     stats.bdd_allocated += ts.mgr.total_allocated();
+    fold_reorder_stats(stats, &ts.mgr);
     for (_, ws) in &lane_stats {
         stats.bdd_nodes = stats.bdd_nodes.max(ws.peak_live_nodes);
         stats.bdd_allocated += ws.allocated;
         stats.bdd_quota_hits += ws.quota_hit as usize;
+        stats.reorders += ws.reorders;
+        stats.reorder_nodes_before += ws.reorder_nodes_before;
+        stats.reorder_nodes_after += ws.reorder_nodes_after;
     }
     stats.worker_bdd = lane_stats.into_iter().map(|(_, ws)| ws).collect();
     match outcome {
@@ -792,10 +857,14 @@ impl ImageLane {
     }
 
     fn worker_stats(&self, quota_hit: bool) -> BddWorkerStats {
+        let (reorders, reorder_nodes_before, reorder_nodes_after) = self.ts.mgr.reorder_stats();
         BddWorkerStats {
             peak_live_nodes: self.ts.mgr.peak_live_nodes(),
             allocated: self.ts.mgr.total_allocated(),
             quota_hit,
+            reorders,
+            reorder_nodes_before,
+            reorder_nodes_after,
         }
     }
 }
@@ -812,6 +881,7 @@ fn lane_setup(
     lane: usize,
     split: &[u32],
     node_quota: usize,
+    dynamic_reorder: bool,
 ) -> Result<ImageLane, BddWorkerStats> {
     let mut ts = match TransitionSystem::build(aig, node_quota) {
         Ok(ts) => ts,
@@ -820,6 +890,7 @@ fn lane_setup(
                 peak_live_nodes: e.peak_live_nodes,
                 allocated: e.total_allocated,
                 quota_hit: true,
+                ..Default::default()
             })
         }
     };
@@ -838,12 +909,17 @@ fn lane_setup(
                     peak_live_nodes: ts.mgr.peak_live_nodes(),
                     allocated: ts.mgr.total_allocated(),
                     quota_hit: true,
+                    ..Default::default()
                 })
             }
         }
     }
     ts.mgr.set_gc_growth_threshold(Some((node_quota / 8).max(1 << 12)));
     ts.mgr.set_cache_max_age(Some(8));
+    if dynamic_reorder {
+        let n_latches = ts.num_latches();
+        arm_dynamic_reorder(&mut ts.mgr, n_latches, node_quota);
+    }
     let baseline = transfer::export(&ts.mgr, NodeId::FALSE);
     Ok(ImageLane { ts, window, baseline, lane })
 }
@@ -869,6 +945,7 @@ fn image_lane_worker(
     nlanes: usize,
     split: &[u32],
     node_quota: usize,
+    dynamic_reorder: bool,
     rx: &Receiver<ToLane>,
     tx: &Sender<(usize, FromLane)>,
 ) -> Vec<(usize, BddWorkerStats)> {
@@ -878,7 +955,7 @@ fn image_lane_worker(
         let mut lanes = Vec::with_capacity(owned.len());
         let mut failed: Vec<(usize, BddWorkerStats)> = Vec::new();
         for &l in &owned {
-            match lane_setup(aig, l, split, node_quota) {
+            match lane_setup(aig, l, split, node_quota, dynamic_reorder) {
                 Ok(lane) => lanes.push(lane),
                 Err(ws) => failed.push((l, ws)),
             }
@@ -1117,6 +1194,7 @@ mod tests {
                 1 << 20,
                 1000,
                 workers,
+                false,
                 &mut stats,
                 &mut Budget::unlimited(),
                 None,
@@ -1158,6 +1236,7 @@ mod tests {
                     1 << 20,
                     100,
                     workers,
+                    false,
                     &mut stats,
                     &mut Budget::unlimited(),
                     None,
@@ -1186,6 +1265,7 @@ mod tests {
                 quota,
                 1 << 20,
                 workers,
+                false,
                 &mut stats,
                 &mut Budget::unlimited(),
                 None,

@@ -52,8 +52,6 @@ mod bdd_engine;
 mod bmc;
 mod checkpoint;
 mod engine;
-#[doc(hidden)]
-pub mod legacy;
 mod options;
 mod pobdd;
 mod portfolio;
@@ -149,6 +147,13 @@ pub struct BddWorkerStats {
     pub allocated: u64,
     /// True if this worker's manager exhausted its quota.
     pub quota_hit: bool,
+    /// Dynamic reordering passes this worker's manager ran (zero unless
+    /// [`CheckOptions::dynamic_reorder`] is on).
+    pub reorders: u64,
+    /// Σ live nodes immediately before each of this worker's passes.
+    pub reorder_nodes_before: u64,
+    /// Σ live nodes immediately after each of this worker's passes.
+    pub reorder_nodes_after: u64,
 }
 
 /// Cone-of-influence size of one checked bad, recorded per bad so
@@ -204,6 +209,16 @@ pub struct CheckStats {
     /// ran). One entry per worker thread, in worker-index order; the
     /// serial engine reports a single entry.
     pub worker_bdd: Vec<BddWorkerStats>,
+    /// Dynamic reordering passes run across all BDD managers (zero
+    /// unless [`CheckOptions::dynamic_reorder`] is on and a trigger
+    /// fired).
+    pub reorders: u64,
+    /// Σ live nodes immediately before each reordering pass (paired
+    /// with [`CheckStats::reorder_nodes_after`]: the ratio is the
+    /// average shrink sifting bought).
+    pub reorder_nodes_before: u64,
+    /// Σ live nodes immediately after each reordering pass.
+    pub reorder_nodes_after: u64,
 }
 
 impl CheckStats {

@@ -46,6 +46,16 @@ pub struct CheckOptions {
     /// the pre-parallel engine — so it composes with campaign-level
     /// parallelism without oversubscribing.
     pub image_workers: usize,
+    /// Enable dynamic variable reordering in the BDD engines: each BDD
+    /// manager (serial, per-lane, per-window) arms an automatic
+    /// in-place sifting pass that fires when the live node count has
+    /// grown by an engine-chosen threshold since the last reorder.
+    /// Verdicts, falsification depths and iteration counts are
+    /// identical with this on or off — only node counts and wall-clock
+    /// move (see `veridic_bdd::BddManager::sift`). Off by default: for
+    /// models whose natural order is already good, sifting is pure
+    /// overhead.
+    pub dynamic_reorder: bool,
     /// Skip the SAT engines (BDD-only portfolio).
     pub bdd_only: bool,
     /// Skip the BDD engines (SAT-only portfolio).
@@ -72,6 +82,7 @@ impl Default for CheckOptions {
             pobdd_window_vars: 2,
             pobdd_workers: 1,
             image_workers: 1,
+            dynamic_reorder: false,
             bdd_only: false,
             sat_only: false,
         }
@@ -158,6 +169,8 @@ impl CheckOptionsBuilder {
         pobdd_workers: usize,
         /// Sets [`CheckOptions::image_workers`].
         image_workers: usize,
+        /// Sets [`CheckOptions::dynamic_reorder`].
+        dynamic_reorder: bool,
         /// Sets [`CheckOptions::bdd_only`].
         bdd_only: bool,
         /// Sets [`CheckOptions::sat_only`].
@@ -200,6 +213,7 @@ mod tests {
         let d = CheckOptions::default();
         assert_eq!(tiny.pobdd_workers, d.pobdd_workers);
         assert_eq!(tiny.image_workers, d.image_workers);
+        assert_eq!(tiny.dynamic_reorder, d.dynamic_reorder);
         assert_eq!(tiny.bdd_only, d.bdd_only);
         assert_eq!(tiny.sat_only, d.sat_only);
         // And the recalibrated live-node quota: half the historical

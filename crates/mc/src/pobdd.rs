@@ -63,6 +63,7 @@ pub fn pobdd_reach(
         workers,
         node_quota,
         max_iterations,
+        false,
         stats,
         &mut Budget::unlimited(),
         None,
@@ -82,6 +83,12 @@ pub fn pobdd_reach(
 /// round — with any worker count: rounds are globally synchronous, so a
 /// checkpoint taken under one worker layout resumes under another with
 /// the same verdict, depth and completed-round count.
+///
+/// `dynamic_reorder` arms automatic in-place variable sifting (see
+/// [`veridic_bdd::BddManager::sift`]) on every manager the session
+/// creates — the serial manager or each window worker's. Verdict,
+/// depth and iteration count are unaffected; only node counts and
+/// wall-clock move.
 #[allow(clippy::too_many_arguments)]
 pub fn pobdd_reach_session(
     aig: &Aig,
@@ -89,6 +96,7 @@ pub fn pobdd_reach_session(
     workers: usize,
     node_quota: usize,
     max_iterations: usize,
+    dynamic_reorder: bool,
     stats: &mut CheckStats,
     budget: &mut Budget,
     resume: Option<&ReachCheckpoint>,
@@ -101,7 +109,16 @@ pub fn pobdd_reach_session(
     }
     let workers = effective_workers(workers, window_vars, aig);
     if workers <= 1 {
-        serial_reach(aig, window_vars, node_quota, max_iterations, stats, budget, resume)
+        serial_reach(
+            aig,
+            window_vars,
+            node_quota,
+            max_iterations,
+            dynamic_reorder,
+            stats,
+            budget,
+            resume,
+        )
     } else {
         parallel_reach(
             aig,
@@ -109,6 +126,7 @@ pub fn pobdd_reach_session(
             workers,
             node_quota,
             max_iterations,
+            dynamic_reorder,
             stats,
             budget,
             resume,
@@ -174,11 +192,13 @@ fn structurally_entangled_latches(aig: &Aig) -> usize {
 // Serial engine (one manager, all windows).
 // ---------------------------------------------------------------------
 
+#[allow(clippy::too_many_arguments)]
 fn serial_reach(
     aig: &Aig,
     window_vars: u32,
     node_quota: usize,
     max_iterations: usize,
+    dynamic_reorder: bool,
     stats: &mut CheckStats,
     budget: &mut Budget,
     resume: Option<&ReachCheckpoint>,
@@ -196,17 +216,27 @@ fn serial_reach(
                 peak_live_nodes: e.peak_live_nodes,
                 allocated: e.total_allocated,
                 quota_hit: true,
+                ..Default::default()
             }];
             return BddEngineOutcome::ResourceOut;
         }
     };
+    if dynamic_reorder {
+        let n_latches = ts.num_latches();
+        crate::bdd_engine::arm_dynamic_reorder(&mut ts.mgr, n_latches, node_quota);
+    }
     let outcome = serial_run(&mut ts, window_vars, max_iterations, stats, budget, resume);
     stats.bdd_nodes = stats.bdd_nodes.max(ts.mgr.peak_live_nodes());
     stats.bdd_allocated += ts.mgr.total_allocated();
+    crate::bdd_engine::fold_reorder_stats(stats, &ts.mgr);
+    let (reorders, reorder_nodes_before, reorder_nodes_after) = ts.mgr.reorder_stats();
     stats.worker_bdd = vec![BddWorkerStats {
         peak_live_nodes: ts.mgr.peak_live_nodes(),
         allocated: ts.mgr.total_allocated(),
         quota_hit: outcome.is_err(),
+        reorders,
+        reorder_nodes_before,
+        reorder_nodes_after,
     }];
     match outcome {
         Ok(o) => o,
@@ -431,6 +461,7 @@ fn parallel_reach(
     workers: usize,
     node_quota: usize,
     max_iterations: usize,
+    dynamic_reorder: bool,
     stats: &mut CheckStats,
     budget: &mut Budget,
     resume: Option<&ReachCheckpoint>,
@@ -444,7 +475,17 @@ fn parallel_reach(
             let up = up_tx.clone();
             to_workers.push(down_tx);
             handles.push(s.spawn(move || {
-                window_worker(aig, wid, workers, window_vars, node_quota, resume, &down_rx, &up)
+                window_worker(
+                    aig,
+                    wid,
+                    workers,
+                    window_vars,
+                    node_quota,
+                    dynamic_reorder,
+                    resume,
+                    &down_rx,
+                    &up,
+                )
             }));
         }
         // Only the workers hold senders now: if every worker died, the
@@ -472,6 +513,9 @@ fn parallel_reach(
             stats.bdd_nodes = stats.bdd_nodes.max(ws.peak_live_nodes);
             stats.bdd_allocated += ws.allocated;
             stats.bdd_quota_hits += ws.quota_hit as usize;
+            stats.reorders += ws.reorders;
+            stats.reorder_nodes_before += ws.reorder_nodes_before;
+            stats.reorder_nodes_after += ws.reorder_nodes_after;
         }
         stats.worker_bdd = worker_stats;
         outcome
@@ -660,6 +704,7 @@ fn window_worker(
     workers: usize,
     window_vars: u32,
     node_quota: usize,
+    dynamic_reorder: bool,
     resume: Option<&ReachCheckpoint>,
     rx: &Receiver<ToWorker>,
     tx: &Sender<(usize, FromWorker)>,
@@ -673,11 +718,16 @@ fn window_worker(
     // re-raises, so the bug surfaces through the coordinator's join
     // instead of hanging the check.
     let setup = catch_unwind(AssertUnwindSafe(|| {
-        let ts = TransitionSystem::build(aig, node_quota).map_err(|e| BddWorkerStats {
+        let mut ts = TransitionSystem::build(aig, node_quota).map_err(|e| BddWorkerStats {
             peak_live_nodes: e.peak_live_nodes,
             allocated: e.total_allocated,
             quota_hit: true,
+            ..Default::default()
         })?;
+        if dynamic_reorder {
+            let n_latches = ts.num_latches();
+            crate::bdd_engine::arm_dynamic_reorder(&mut ts.mgr, n_latches, node_quota);
+        }
         worker_setup(ts, wid, workers, window_vars, resume)
     }));
     let mut state = match setup {
@@ -751,10 +801,14 @@ fn window_worker(
     if let Some(payload) = panic_payload {
         resume_unwind(payload);
     }
+    let (reorders, reorder_nodes_before, reorder_nodes_after) = state.ts.mgr.reorder_stats();
     BddWorkerStats {
         peak_live_nodes: state.ts.mgr.peak_live_nodes(),
         allocated: state.ts.mgr.total_allocated(),
         quota_hit,
+        reorders,
+        reorder_nodes_before,
+        reorder_nodes_after,
     }
 }
 
@@ -835,10 +889,16 @@ fn worker_setup(
     window_vars: u32,
     resume: Option<&ReachCheckpoint>,
 ) -> Result<WindowWorker, BddWorkerStats> {
-    let fail = |ts: &TransitionSystem| BddWorkerStats {
-        peak_live_nodes: ts.mgr.peak_live_nodes(),
-        allocated: ts.mgr.total_allocated(),
-        quota_hit: true,
+    let fail = |ts: &TransitionSystem| {
+        let (reorders, reorder_nodes_before, reorder_nodes_after) = ts.mgr.reorder_stats();
+        BddWorkerStats {
+            peak_live_nodes: ts.mgr.peak_live_nodes(),
+            allocated: ts.mgr.total_allocated(),
+            quota_hit: true,
+            reorders,
+            reorder_nodes_before,
+            reorder_nodes_after,
+        }
     };
     // Every worker derives the identical split, costs and assignment
     // from its identically built transition system — no coordination
@@ -1249,7 +1309,7 @@ mod tests {
             let mut s1 = CheckStats::default();
             let mut budget = Budget::rounds(7);
             let suspended = pobdd_reach_session(
-                &g, 2, kill_workers, 1 << 20, 1000, &mut s1, &mut budget, None,
+                &g, 2, kill_workers, 1 << 20, 1000, false, &mut s1, &mut budget, None,
             );
             let ck = match suspended {
                 BddEngineOutcome::Suspended(ck) => ck,
@@ -1264,6 +1324,7 @@ mod tests {
                 resume_workers,
                 1 << 20,
                 1000,
+                false,
                 &mut s2,
                 &mut Budget::unlimited(),
                 Some(&ck),

@@ -148,6 +148,7 @@ impl Engine for BddUmcEngine {
             ctx.opts.bdd_nodes,
             ctx.opts.max_iterations,
             ctx.opts.image_workers,
+            ctx.opts.dynamic_reorder,
             ctx.stats,
             ctx.budget,
             resume,
@@ -196,6 +197,7 @@ impl Engine for PobddEngine {
             ctx.opts.pobdd_workers,
             ctx.opts.bdd_nodes,
             ctx.opts.max_iterations,
+            ctx.opts.dynamic_reorder,
             ctx.stats,
             ctx.budget,
             resume,
@@ -698,7 +700,7 @@ fn extraction_blame(id: EngineId) -> &'static str {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{legacy, CancelToken};
+    use crate::CancelToken;
     use veridic_aig::Lit;
 
     /// Adds a `bits`-wide ripple counter to `g`; returns the state
@@ -732,37 +734,51 @@ mod tests {
         g
     }
 
-    /// Deep equality against the preserved pre-redesign cascade:
-    /// verdict, every numeric statistic, and the rendered engine
-    /// strings. The engine call sequence is identical, so even the
-    /// manager accounting (allocations, peaks) must match bit-for-bit.
-    fn assert_matches_legacy(aig: &Aig, opts: &CheckOptions) {
-        let new = Portfolio::default().check(aig, opts);
-        let old = legacy::check(aig, opts);
-        assert_eq!(new.verdict, old.verdict);
-        assert_eq!(new.stats.engines_tried(), old.engines_tried);
-        assert_eq!(new.stats.coi_latches, old.stats.coi_latches);
-        assert_eq!(new.stats.coi_ands, old.stats.coi_ands);
-        assert_eq!(new.stats.per_bad_coi, old.stats.per_bad_coi);
-        assert_eq!(new.stats.bdd_nodes, old.stats.bdd_nodes);
-        assert_eq!(new.stats.bdd_allocated, old.stats.bdd_allocated);
-        assert_eq!(new.stats.bdd_quota_hits, old.stats.bdd_quota_hits);
-        assert_eq!(new.stats.sat_conflicts, old.stats.sat_conflicts);
-        assert_eq!(new.stats.iterations, old.stats.iterations);
-        assert_eq!(new.stats.worker_bdd, old.stats.worker_bdd);
+    /// Portfolio self-consistency on one design: repeated runs are
+    /// deterministic down to every statistic, and the SAT-only and
+    /// BDD-only halves of the portfolio agree with the full cascade on
+    /// verdict and counterexample depth. (The pre-redesign cascade this
+    /// used to diff against byte-for-byte was retired after PR 5; the
+    /// determinism half of that contract lives on here, the
+    /// cross-engine half in `tests/portfolio_equivalence.rs`.)
+    fn assert_self_consistent(aig: &Aig, opts: &CheckOptions) {
+        let first = Portfolio::default().check(aig, opts);
+        let again = Portfolio::default().check(aig, opts);
+        assert_eq!(first.verdict, again.verdict);
+        assert_eq!(first.stats, again.stats, "repeat runs must be deterministic");
+        if !(opts.bdd_only || opts.sat_only) {
+            for restricted in [
+                CheckOptions { bdd_only: true, ..opts.clone() },
+                CheckOptions { sat_only: true, ..opts.clone() },
+            ] {
+                let half = Portfolio::default().check(aig, &restricted);
+                match (&first.verdict, &half.verdict) {
+                    (Verdict::Falsified(a), Verdict::Falsified(b)) => {
+                        assert_eq!(a.len(), b.len(), "cex depth must agree");
+                        assert_eq!(a.bad_index, b.bad_index);
+                    }
+                    (Verdict::Proved { .. }, Verdict::Proved { .. }) => {}
+                    // A half-portfolio has fewer engines than the full
+                    // cascade, so running out of budget is consistent
+                    // with any full-cascade outcome.
+                    (_, Verdict::ResourceOut { .. }) => {}
+                    (a, b) => panic!("portfolio halves disagree: {a:?} vs {b:?}"),
+                }
+            }
+        }
     }
 
     #[test]
-    fn default_policy_matches_legacy_cascade() {
+    fn default_policy_is_deterministic_and_self_consistent() {
         for bad_at in [0u64, 5, 9] {
             let g = counter_aig(4, bad_at);
-            assert_matches_legacy(&g, &CheckOptions::default());
-            assert_matches_legacy(&g, &CheckOptions::builder().bdd_only(true).build());
-            assert_matches_legacy(&g, &CheckOptions::builder().sat_only(true).build());
+            assert_self_consistent(&g, &CheckOptions::default());
         }
         // Resource-out path (tiny budget on a wide counter).
         let g = counter_aig(24, (1 << 24) - 1);
-        assert_matches_legacy(&g, &CheckOptions::tiny_budget());
+        let r = Portfolio::default().check(&g, &CheckOptions::tiny_budget());
+        assert!(matches!(r.verdict, Verdict::ResourceOut { .. }), "{:?}", r.verdict);
+        assert_self_consistent(&g, &CheckOptions::tiny_budget());
     }
 
     #[test]

@@ -244,6 +244,147 @@ proptest! {
         }
     }
 
+    /// In-place dynamic reordering — random adjacent-level swaps
+    /// followed by a full Rudell sift — preserves the function denoted
+    /// by every rooted external `NodeId`: the ids themselves stay
+    /// valid (no re-import, no translation table), their truth tables
+    /// are unchanged, they survive a post-reorder GC, and operations
+    /// keep working at the new order.
+    #[test]
+    fn reorder_preserves_rooted_functions(
+        t0 in bool_tree(NVARS),
+        t1 in bool_tree(NVARS),
+        junk in bool_tree(NVARS),
+        swaps in proptest::collection::vec(0u32..NVARS - 1, 0..8),
+    ) {
+        let trees = [t0, t1];
+        let mut m = BddManager::new(1 << 18);
+        // Ensure every variable exists so swap levels 0..NVARS-1 are
+        // always in range, even when a random tree omits a variable.
+        for v in 0..NVARS {
+            m.var(v).unwrap();
+        }
+        let roots: Vec<_> = trees
+            .iter()
+            .map(|t| {
+                let f = tree_to_bdd(&mut m, t);
+                m.protect(f);
+                f
+            })
+            .collect();
+        // Unrooted garbage: reordering must neither resurrect it nor
+        // let the following sweep take a root with it.
+        let _ = tree_to_bdd(&mut m, &junk);
+        for &lvl in &swaps {
+            m.swap_adjacent_levels(lvl);
+            // The var<->level maps stay inverse permutations.
+            let order = m.current_order();
+            for (level, var) in order.iter().enumerate() {
+                prop_assert_eq!(m.level_of(*var) as usize, level);
+                prop_assert_eq!(m.var_at_level(level as u32), *var);
+            }
+        }
+        let (before, after) = m.sift();
+        prop_assert!(after <= before, "sifting must never grow the graph ({before} -> {after})");
+        for (t, f) in trees.iter().zip(&roots) {
+            for asg in 0..(1u32 << NVARS) {
+                prop_assert_eq!(
+                    m.eval(*f, &|v| asg >> v & 1 == 1),
+                    eval_tree(t, asg),
+                    "rooted id must denote the same function after reorder, assignment {:05b}", asg
+                );
+            }
+        }
+        // Reorder-then-GC: the swap rewiring must leave refcounts and
+        // reachability consistent enough for a full mark-and-sweep.
+        m.gc();
+        for (t, f) in trees.iter().zip(&roots) {
+            for asg in 0..(1u32 << NVARS) {
+                prop_assert_eq!(
+                    m.eval(*f, &|v| asg >> v & 1 == 1),
+                    eval_tree(t, asg),
+                    "rooted id must survive reorder-then-GC, assignment {:05b}", asg
+                );
+            }
+        }
+        // And the manager keeps functioning at the new order.
+        let conj = m.and(roots[0], roots[1]).unwrap();
+        for asg in 0..(1u32 << NVARS) {
+            let want = eval_tree(&trees[0], asg) && eval_tree(&trees[1], asg);
+            prop_assert_eq!(m.eval(conj, &|v| asg >> v & 1 == 1), want);
+        }
+    }
+
+    /// Transfer round-trips between managers whose dynamic orders have
+    /// diverged: a reordered source exports in its own level order, an
+    /// identity-order receiver rebuilds via the ITE fallback, a
+    /// receiver that adopted the source's order rebuilds node-exactly,
+    /// and a further hop into a third order still denotes the same
+    /// function.
+    #[test]
+    fn transfer_roundtrip_across_diverged_orders(
+        tf in bool_tree(NVARS),
+        swaps in proptest::collection::vec(0u32..NVARS - 1, 1..8),
+    ) {
+        use veridic::bdd::transfer::{export, import};
+        let mut src = BddManager::new(1 << 18);
+        for v in 0..NVARS {
+            src.var(v).unwrap();
+        }
+        let f = tree_to_bdd(&mut src, &tf);
+        src.protect(f);
+        for &lvl in &swaps {
+            src.swap_adjacent_levels(lvl);
+        }
+        let exported = export(&src, f);
+        prop_assert!(exported.source_order().len() >= NVARS as usize);
+
+        // Identity-order receiver: level checks fail wherever the
+        // orders disagree, so the ITE fallback must reconstruct.
+        let mut dst = BddManager::new(1 << 18);
+        let got = import(&exported, &mut dst).unwrap();
+        for asg in 0..(1u32 << NVARS) {
+            prop_assert_eq!(
+                dst.eval(got, &|v| asg >> v & 1 == 1),
+                src.eval(f, &|v| asg >> v & 1 == 1),
+                "identity receiver, assignment {:05b}", asg
+            );
+        }
+
+        // A receiver that adopted the source's order takes the fast
+        // mk path throughout and rebuilds node-exactly.
+        let mut twin = BddManager::new(1 << 18);
+        twin.adopt_order(exported.source_order());
+        let got_twin = import(&exported, &mut twin).unwrap();
+        prop_assert_eq!(
+            twin.size(got_twin),
+            src.size(f),
+            "order-adopting receiver must rebuild node-exactly"
+        );
+        for asg in 0..(1u32 << NVARS) {
+            prop_assert_eq!(
+                twin.eval(got_twin, &|v| asg >> v & 1 == 1),
+                src.eval(f, &|v| asg >> v & 1 == 1),
+                "order-adopting receiver, assignment {:05b}", asg
+            );
+        }
+
+        // Second hop: re-export from the adopted-order twin into a
+        // receiver with yet another order (the reversal).
+        let back = export(&twin, got_twin);
+        let reversed: Vec<u32> = (0..NVARS).rev().collect();
+        let mut third = BddManager::new(1 << 18);
+        third.adopt_order(&reversed);
+        let got_third = import(&back, &mut third).unwrap();
+        for asg in 0..(1u32 << NVARS) {
+            prop_assert_eq!(
+                third.eval(got_third, &|v| asg >> v & 1 == 1),
+                src.eval(f, &|v| asg >> v & 1 == 1),
+                "reversed-order receiver, assignment {:05b}", asg
+            );
+        }
+    }
+
     /// Baseline + delta must reconstruct exactly what a full export
     /// reconstructs, for random function pairs: overlapping, identical
     /// (empty delta), disjoint and constant cones all arise.
