@@ -265,7 +265,7 @@ impl BddManager {
     /// they would across a collection.
     ///
     /// This is the one-off public form of the primitive; sifting batches
-    /// many swaps over one [`SiftScratch`].
+    /// many swaps over one `SiftScratch` (private).
     pub fn swap_adjacent_levels(&mut self, level: u32) {
         let l = level as usize;
         if l + 1 >= self.level2var.len() {

@@ -18,6 +18,7 @@ fn main() {
         "Defect", "Type of Property (formal)", "Formal?", "Sim latency", "Easy?"
     );
     let portfolio = Portfolio::default();
+    let mut pre = PreanalysisStats::default();
     for (module_name, bug) in chip.bugs() {
         let module = chip.design().module(&module_name).unwrap();
         // Formal verdict on the bug's property type.
@@ -36,6 +37,10 @@ fn main() {
                 {
                     formal_found = true;
                 }
+                pre.bads_analyzed += stats.preanalysis.bads_analyzed;
+                pre.stuck_latches += stats.preanalysis.stuck_latches;
+                pre.folded_ands += stats.preanalysis.folded_ands;
+                pre.vacuous += stats.preanalysis.vacuous;
             }
         }
         // Simulation latency: median across seeds.
@@ -69,5 +74,9 @@ fn main() {
         );
     }
     println!();
+    println!(
+        "preanalysis: {} cones swept, {} stuck latches folded ({} ANDs), {} vacuous",
+        pre.bads_analyzed, pre.stuck_latches, pre.folded_ands, pre.vacuous
+    );
     println!("(paper: B0/B2/B4 easy by simulation; B1/B3/B5/B6 hard or impossible)");
 }

@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 use veridic_chipgen::{Category, Chip, PropertyType};
-use veridic_mc::{CheckOptions, CheckStats, Portfolio, Verdict};
+use veridic_mc::{CheckOptions, CheckStats, Portfolio, PreanalysisStats, Verdict};
 use veridic_psl::CompiledVUnit;
 
 /// Campaign configuration.
@@ -383,6 +383,30 @@ impl CampaignReport {
         self.records.iter().map(|r| r.stats.worker_bdd.len()).max().unwrap_or(0)
     }
 
+    /// Campaign-wide totals of the static pre-analysis stage
+    /// (`CheckStats::preanalysis` summed across every record): cones
+    /// swept, sequentially-stuck latches found, AND nodes folded away,
+    /// and properties concluded without any engine. Surfaced as extra
+    /// lines by the table bins — deliberately *not* part of
+    /// [`CampaignReport::render_table2`], whose text is byte-compared
+    /// across worker counts.
+    pub fn preanalysis_totals(&self) -> PreanalysisStats {
+        let mut total = PreanalysisStats::default();
+        for r in &self.records {
+            total.bads_analyzed += r.stats.preanalysis.bads_analyzed;
+            total.stuck_latches += r.stats.preanalysis.stuck_latches;
+            total.folded_ands += r.stats.preanalysis.folded_ands;
+            total.vacuous += r.stats.preanalysis.vacuous;
+        }
+        total
+    }
+
+    /// Properties the pre-analysis stage concluded on its own — proved
+    /// vacuous or trivially falsified with **zero** engine invocations.
+    pub fn vacuous_count(&self) -> usize {
+        self.records.iter().filter(|r| r.stats.preanalysis.vacuous > 0).count()
+    }
+
     /// Fraction of properties proved.
     pub fn proved_ratio(&self) -> f64 {
         if self.records.is_empty() {
@@ -525,6 +549,40 @@ mod tests {
         });
         assert_eq!(report.peak_worker_bdd_nodes(), 25, "max over any single worker manager");
         assert_eq!(report.max_pobdd_workers(), 2, "widest fan-out observed");
+    }
+
+    #[test]
+    fn preanalysis_totals_aggregate_across_records() {
+        let mut report = CampaignReport::default();
+        assert_eq!(report.preanalysis_totals(), PreanalysisStats::default());
+        assert_eq!(report.vacuous_count(), 0);
+        for (stuck, folded, vacuous) in [(2usize, 5usize, 0usize), (1, 3, 1)] {
+            let stats = CheckStats {
+                preanalysis: veridic_mc::PreanalysisStats {
+                    bads_analyzed: 1,
+                    stuck_latches: stuck,
+                    folded_ands: folded,
+                    vacuous,
+                },
+                ..CheckStats::default()
+            };
+            report.records.push(PropertyRecord {
+                module: "m".into(),
+                category: Category::A,
+                vunit: "v".into(),
+                label: "l".into(),
+                ptype: PropertyType::Soundness,
+                verdict: Verdict::Proved { engine: "preanalysis" },
+                stats,
+                duration: Duration::default(),
+            });
+        }
+        let totals = report.preanalysis_totals();
+        assert_eq!(totals.bads_analyzed, 2);
+        assert_eq!(totals.stuck_latches, 3);
+        assert_eq!(totals.folded_ands, 8);
+        assert_eq!(totals.vacuous, 1);
+        assert_eq!(report.vacuous_count(), 1, "only the second record concluded statically");
     }
 
     #[test]

@@ -499,6 +499,31 @@ mod tests {
     }
 
     #[test]
+    fn preanalysis_folds_nothing_on_the_chain_corns() {
+        // Fig. 7 bench neutrality: no chain latch is sequentially stuck
+        // (every datapath register free-runs behind its hold enable and
+        // every monitor latch watches live parity), so the default-on
+        // pre-analysis stage is an identity pass on every corn — the
+        // fig7 ids in BENCH_BASELINE.json are unaffected by the stage.
+        let vm = chain_vm(5);
+        let steps = partition_output_integrity(&vm, 0).unwrap();
+        let opts = CheckOptions {
+            bdd_nodes: 60_000,
+            sat_conflicts: 50_000,
+            bmc_depth: 8,
+            induction_depth: 6,
+            ..CheckOptions::default()
+        };
+        let run = run_partition(&steps, &opts);
+        assert!(run.all_proved);
+        for (name, r) in &run.steps {
+            assert!(r.stats.preanalysis.bads_analyzed > 0, "{name}: the stage must run");
+            assert_eq!(r.stats.preanalysis.stuck_latches, 0, "{name}: nothing to fold");
+            assert_eq!(r.stats.preanalysis.vacuous, 0, "{name}: nothing vacuous");
+        }
+    }
+
+    #[test]
     fn monolithic_resource_out_partitioned_proves() {
         // The Figure-7 reproduction: same budgets, monolithic fails,
         // partitioned succeeds.

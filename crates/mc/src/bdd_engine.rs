@@ -392,7 +392,7 @@ pub(crate) fn arm_dynamic_reorder(mgr: &mut BddManager, num_latches: usize, node
 /// `image_workers` selects the image strategy: `1` (the default) is the
 /// serial engine, unchanged; any other value fans the per-round image
 /// out across lane threads (`0` = one per available CPU) as described
-/// on [`parallel_umc_session`] — verdict, depth and iteration count are
+/// on `parallel_umc_session` (private) — verdict, depth and iteration count are
 /// identical to serial for every worker count, and all manager-level
 /// statistics are identical across parallel worker counts.
 ///

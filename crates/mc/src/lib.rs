@@ -70,7 +70,7 @@ pub use options::{CheckOptions, CheckOptionsBuilder};
 pub use pobdd::{pobdd_reach, pobdd_reach_session};
 pub use portfolio::{
     BddUmcEngine, BmcEngine, InductionEngine, PobddEngine, Portfolio, PortfolioOutcome,
-    RunCheckpoint,
+    RunCheckpoint, PREANALYSIS,
 };
 
 use veridic_aig::Aig;
@@ -156,6 +156,24 @@ pub struct BddWorkerStats {
     pub reorder_nodes_after: u64,
 }
 
+/// Statistics of the static pre-analysis stage
+/// ([`CheckOptions::preanalysis`]): how many bads it swept, what it
+/// folded, and how many properties it concluded without an engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PreanalysisStats {
+    /// Bads the ternary sweep ran on (every checked bad when the stage
+    /// is enabled; resumed bads are not double-counted).
+    pub bads_analyzed: usize,
+    /// Sequentially-stuck latches found (summed over bads; a latch in
+    /// several bad cones counts once per cone, like the COI stats).
+    pub stuck_latches: usize,
+    /// AND nodes eliminated by constant folding (summed over bads).
+    pub folded_ands: usize,
+    /// Bads concluded statically — vacuous proofs and trivial
+    /// falsifications — with **zero** engine invocations.
+    pub vacuous: usize,
+}
+
 /// Cone-of-influence size of one checked bad, recorded per bad so
 /// multi-bad checks don't smear (the summary fields used to be
 /// overwritten by whichever bad was checked last).
@@ -186,6 +204,9 @@ pub struct CheckStats {
     pub coi_ands: usize,
     /// Per-bad COI sizes, in check order.
     pub per_bad_coi: Vec<BadCoiStats>,
+    /// What the static pre-analysis stage swept, folded and concluded
+    /// (all zero when [`CheckOptions::preanalysis`] is off).
+    pub preanalysis: PreanalysisStats,
     /// Peak **live** BDD nodes (if a BDD engine ran): the garbage
     /// collector's high-water mark, recorded on every exit path
     /// including quota-exhausted transition-system builds.

@@ -60,6 +60,17 @@ pub struct CheckOptions {
     pub bdd_only: bool,
     /// Skip the BDD engines (SAT-only portfolio).
     pub sat_only: bool,
+    /// Run the static pre-analysis stage before any engine: a ternary
+    /// constant sweep over each bad's COI-reduced cone
+    /// (`veridic_aig::analyze`). Statically-constant bads and
+    /// constraints conclude with **zero** engine invocations;
+    /// sequentially-stuck latches are folded out of the AIG every
+    /// engine sees. On designs with nothing to fold the stage is an
+    /// identity pass — verdicts, depths, iteration counts and event
+    /// logs are byte-identical to running with this off. On by
+    /// default: the sweep is linear in the cone and the fold only ever
+    /// shrinks the state space.
+    pub preanalysis: bool,
 }
 
 impl Default for CheckOptions {
@@ -85,6 +96,7 @@ impl Default for CheckOptions {
             dynamic_reorder: false,
             bdd_only: false,
             sat_only: false,
+            preanalysis: true,
         }
     }
 }
@@ -175,6 +187,8 @@ impl CheckOptionsBuilder {
         bdd_only: bool,
         /// Sets [`CheckOptions::sat_only`].
         sat_only: bool,
+        /// Sets [`CheckOptions::preanalysis`].
+        preanalysis: bool,
     }
 
     /// Finishes the builder.
@@ -216,6 +230,8 @@ mod tests {
         assert_eq!(tiny.dynamic_reorder, d.dynamic_reorder);
         assert_eq!(tiny.bdd_only, d.bdd_only);
         assert_eq!(tiny.sat_only, d.sat_only);
+        assert_eq!(tiny.preanalysis, d.preanalysis);
+        assert!(d.preanalysis, "the static pre-analysis stage defaults on");
         // And the recalibrated live-node quota: half the historical
         // 2 000 ever-allocated units, mirroring the 1<<22 → 1<<21
         // default recalibration.

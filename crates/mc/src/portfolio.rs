@@ -28,7 +28,12 @@ use crate::engine::{
 use crate::{
     bdd_engine, pobdd, BadCoiStats, CheckOptions, CheckResult, CheckStats, Trace, Verdict,
 };
+use veridic_aig::analyze::{fold_constants, ternary_sweep, Ternary};
 use veridic_aig::Aig;
+
+/// Display name of the static pre-analysis stage in event logs and
+/// proof attributions (`"<bad>/preanalysis: proved"`).
+pub const PREANALYSIS: &str = "preanalysis";
 
 // ---------------------------------------------------------------------
 // The four built-in engines.
@@ -536,6 +541,74 @@ impl Portfolio {
             });
         }
 
+        // Static pre-analysis: ternary constant sweep over the cone.
+        // Statically-constant bads/constraints conclude right here with
+        // zero engine invocations; stuck latches are folded out of the
+        // AIG every engine sees. When the sweep finds nothing stuck the
+        // fold is skipped entirely and the engines run on `sub`
+        // unchanged — which is what keeps preanalysis-on byte-identical
+        // to preanalysis-off on designs with nothing to fold. Resumed
+        // bads re-derive the same fold deterministically (their
+        // checkpoints were taken against the folded AIG) but do not
+        // re-count the stats, mirroring the COI accounting above.
+        let folded = if opts.preanalysis {
+            let sweep = ternary_sweep(&sub);
+            if resume.is_none() {
+                stats.preanalysis.bads_analyzed += 1;
+                stats.preanalysis.stuck_latches += sweep.stuck_count();
+            }
+            let pre_event = |stats: &mut CheckStats, outcome: EventOutcome| {
+                stats.events.push(EngineEvent {
+                    bad: bad_name.clone(),
+                    engine: EngineId::Custom(PREANALYSIS),
+                    outcome,
+                    resources: EventResources::default(),
+                });
+            };
+            let bad_value = sweep.lit_value(sub.bads()[0].lit);
+            let constraint_values: Vec<Ternary> =
+                sub.constraints().iter().map(|c| sweep.lit_value(c.lit)).collect();
+            // A constant-false bad can never fire; a constant-false
+            // constraint leaves no valid path at all. Either way the
+            // property holds on every reachable constrained state.
+            if bad_value == Ternary::False
+                || constraint_values.contains(&Ternary::False)
+            {
+                stats.preanalysis.vacuous += 1;
+                pre_event(stats, EventOutcome::Proved);
+                return Ok(Verdict::Proved { engine: PREANALYSIS });
+            }
+            // A constant-true bad fires in the initial state under any
+            // inputs; when every constraint is constant-true as well,
+            // any single-cycle trace is a counterexample. (If some
+            // constraint is X the engines must pick the inputs.)
+            if bad_value == Ternary::True
+                && constraint_values.iter().all(|v| *v == Ternary::True)
+            {
+                stats.preanalysis.vacuous += 1;
+                let full = Trace { inputs: vec![vec![false; aig.num_inputs()]], bad_index };
+                assert!(full.replays_on(aig), "preanalysis counterexample failed replay");
+                pre_event(stats, EventOutcome::FalsifiedAtDepth(0));
+                return Ok(Verdict::Falsified(full));
+            }
+            match fold_constants(&sub, &sweep) {
+                Some(fold) => {
+                    if resume.is_none() {
+                        stats.preanalysis.folded_ands += fold.folded_ands;
+                    }
+                    Some(fold.aig)
+                }
+                None => None,
+            }
+        } else {
+            None
+        };
+        // The AIG the engines run on: folded when the sweep found
+        // stuck latches, the COI cone otherwise. The fold preserves
+        // all inputs in creation order, so `expand_trace` below works
+        // unchanged on traces from either.
+        let engine_aig: &Aig = folded.as_ref().unwrap_or(&sub);
+
         // Map a trace on the reduced AIG back to the full input space.
         let expand_trace = |t: Trace| -> Trace {
             let mut full = vec![vec![false; aig.num_inputs()]; t.inputs.len()];
@@ -556,7 +629,7 @@ impl Portfolio {
 
         for (slot_index, slot) in self.slots.iter().enumerate().skip(first_slot) {
             let engine = slot.engine.as_ref();
-            if !engine.enabled(opts) || !engine.supports(&sub) {
+            if !engine.enabled(opts) || !engine.supports(engine_aig) {
                 continue;
             }
             let id = engine.id();
@@ -566,7 +639,7 @@ impl Portfolio {
             let resume_state = engine_resume.take();
             let outcome = {
                 let mut ctx = EngineCtx {
-                    aig: &sub,
+                    aig: engine_aig,
                     bad_name: &bad_name,
                     opts,
                     budget: &mut eng_budget,
@@ -613,7 +686,7 @@ impl Portfolio {
                 EngineOutcome::FalsifiedAtDepth(k) => {
                     push(stats, EventOutcome::FalsifiedAtDepth(k));
                     // Extract the trace with a depth-pinned BMC run.
-                    match bmc::bmc_check(&sub, k, k, u64::MAX, stats) {
+                    match bmc::bmc_check(engine_aig, k, k, u64::MAX, stats) {
                         BmcOutcome::Falsified(t) => {
                             let full = expand_trace(t);
                             assert!(
@@ -922,7 +995,13 @@ mod tests {
         let full = count_is(&mut g, &qs, 15);
         let bad = g.and(s, full);
         g.add_bad("never", bad);
-        let opts = CheckOptions::builder().bdd_only(true).pobdd_window_vars(0).build();
+        // Preanalysis would conclude this stuck-latch design instantly;
+        // this test is about the suspension machinery, so switch it off.
+        let opts = CheckOptions::builder()
+            .bdd_only(true)
+            .pobdd_window_vars(0)
+            .preanalysis(false)
+            .build();
         let portfolio = Portfolio::default();
         let uninterrupted = portfolio.check(&g, &opts);
         assert!(uninterrupted.verdict.is_proved());
@@ -1028,6 +1107,155 @@ mod tests {
             .expect("the deep bad suspends");
         let other = counter_aig(4, 9); // one bad only
         let _ = portfolio.resume(&other, &opts, ck);
+    }
+
+    /// The vacuity short-circuit: a statically-constant bad concludes
+    /// with zero engine invocations — the event log shows a single
+    /// zero-round preanalysis entry and the stats report the vacuous
+    /// verdict plus the folded-latch count.
+    #[test]
+    fn preanalysis_concludes_vacuous_bad_without_engines() {
+        // bad = stuck0 AND full-count: the sweep pins stuck0 at 0, so
+        // the bad is constant false however deep the counter runs.
+        let mut g = Aig::new();
+        let qs = add_counter(&mut g, 4);
+        let (l, s) = g.latch("stuck", false);
+        g.set_next(l, s);
+        let full = count_is(&mut g, &qs, 15);
+        let bad = g.and(s, full);
+        g.add_bad("never", bad);
+        let r = Portfolio::default().check(&g, &CheckOptions::default());
+        assert_eq!(r.verdict, Verdict::Proved { engine: "portfolio" });
+        assert_eq!(r.stats.events.len(), 1, "no engine may run: {:?}", r.stats.events);
+        assert_eq!(r.stats.events[0].engine, EngineId::Custom(PREANALYSIS));
+        assert_eq!(r.stats.events[0].resources.rounds, 0);
+        assert_eq!(r.stats.events[0].resources.sat_conflicts, 0);
+        assert_eq!(r.stats.events[0].resources.bdd_allocated, 0);
+        assert_eq!(r.stats.engines_tried(), vec!["never/preanalysis: proved".to_string()]);
+        assert_eq!(r.stats.preanalysis.vacuous, 1);
+        assert_eq!(r.stats.preanalysis.bads_analyzed, 1);
+        assert_eq!(r.stats.preanalysis.stuck_latches, 1, "the stuck latch is counted");
+        assert_eq!(r.stats.sat_conflicts, 0);
+        assert_eq!(r.stats.bdd_allocated, 0);
+        assert_eq!(r.stats.iterations, 0);
+        // The single-bad entry point attributes the proof to the stage.
+        let mut stats = CheckStats::default();
+        let verdict =
+            Portfolio::default().check_bad(&g, 0, &CheckOptions::default(), &mut stats);
+        assert_eq!(verdict, Verdict::Proved { engine: PREANALYSIS });
+    }
+
+    /// A constant-**true** bad (under constant-true-or-absent
+    /// constraints) is trivially falsified at depth 0, again with zero
+    /// engine invocations, and the replayed trace is a real one.
+    #[test]
+    fn preanalysis_trivially_falsifies_constant_true_bad() {
+        let mut g = Aig::new();
+        let _x = g.input("x");
+        let (l, s) = g.latch("stuck1", true);
+        g.set_next(l, s);
+        g.add_bad("always", s);
+        let r = Portfolio::default().check(&g, &CheckOptions::default());
+        match &r.verdict {
+            Verdict::Falsified(t) => {
+                assert_eq!(t.len(), 1, "depth-0 counterexample");
+                assert!(t.replays_on(&g));
+            }
+            other => panic!("expected falsification, got {other:?}"),
+        }
+        assert_eq!(r.stats.events.len(), 1);
+        assert_eq!(
+            r.stats.engines_tried(),
+            vec!["always/preanalysis: bad at depth 0".to_string()]
+        );
+        assert_eq!(r.stats.preanalysis.vacuous, 1);
+    }
+
+    /// A constant-false constraint makes every property vacuous: no
+    /// valid path exists, so the bad is proved without an engine.
+    #[test]
+    fn preanalysis_proves_under_constant_false_constraint() {
+        let mut g = Aig::new();
+        let a = g.input("a");
+        let (l, s) = g.latch("stuck0", false);
+        g.set_next(l, s);
+        let (ql, q) = g.latch("q", false);
+        g.set_next(ql, a);
+        g.add_bad("q_high", q);
+        g.add_constraint("impossible", s);
+        let r = Portfolio::default().check(&g, &CheckOptions::default());
+        assert_eq!(r.verdict, Verdict::Proved { engine: "portfolio" });
+        assert_eq!(r.stats.events.len(), 1);
+        assert_eq!(r.stats.events[0].engine, EngineId::Custom(PREANALYSIS));
+        assert_eq!(r.stats.preanalysis.vacuous, 1);
+    }
+
+    /// When the bad is constant-true but a constraint is *not* statically
+    /// constant, preanalysis must NOT fabricate a trace — the engines
+    /// pick inputs that satisfy the constraint.
+    #[test]
+    fn preanalysis_defers_constrained_trivial_bads_to_engines() {
+        let mut g = Aig::new();
+        let a = g.input("a");
+        let (l, s) = g.latch("stuck1", true);
+        g.set_next(l, s);
+        g.add_bad("always", s);
+        g.add_constraint("a_high", a);
+        let r = Portfolio::default().check(&g, &CheckOptions::default());
+        match &r.verdict {
+            Verdict::Falsified(t) => {
+                assert!(t.replays_on(&g));
+                assert!(t.inputs[0][0], "the constraint forces a=1");
+            }
+            other => panic!("expected falsification, got {other:?}"),
+        }
+        assert!(
+            r.stats.events.iter().all(|e| e.engine != EngineId::Custom(PREANALYSIS)),
+            "no preanalysis conclusion when a constraint is X: {:?}",
+            r.stats.events
+        );
+    }
+
+    /// Folding a stuck latch out of a live property changes neither the
+    /// verdict nor the falsification depth nor the iteration counts
+    /// relative to preanalysis-off — and on designs with nothing to
+    /// fold the whole stats block is identical.
+    #[test]
+    fn preanalysis_folding_is_verdict_and_depth_neutral() {
+        // bad = count_is(9) OR stuck0: the stuck leg folds away, the
+        // counter leg is live at depth 9.
+        let mut g = Aig::new();
+        let qs = add_counter(&mut g, 4);
+        let (l, s) = g.latch("stuck", false);
+        g.set_next(l, s);
+        let hit = count_is(&mut g, &qs, 9);
+        let bad = g.or(hit, s);
+        g.add_bad("count_or_stuck", bad);
+        let on = Portfolio::default().check(&g, &CheckOptions::default());
+        let off = Portfolio::default()
+            .check(&g, &CheckOptions::builder().preanalysis(false).build());
+        match (&on.verdict, &off.verdict) {
+            (Verdict::Falsified(a), Verdict::Falsified(b)) => {
+                assert_eq!(a.len(), b.len(), "folding must not move the depth");
+                assert_eq!(a.bad_index, b.bad_index);
+            }
+            other => panic!("expected two falsifications, got {other:?}"),
+        }
+        assert_eq!(on.stats.iterations, off.stats.iterations);
+        assert!(on.stats.preanalysis.stuck_latches >= 1);
+        assert!(on.stats.preanalysis.folded_ands >= 1);
+        assert_eq!(off.stats.preanalysis, crate::PreanalysisStats::default());
+
+        // Nothing stuck → the identity fast-path: stats byte-identical
+        // except the preanalysis counters themselves.
+        let clean = counter_aig(4, 9);
+        let on = Portfolio::default().check(&clean, &CheckOptions::default());
+        let off = Portfolio::default()
+            .check(&clean, &CheckOptions::builder().preanalysis(false).build());
+        assert_eq!(on.verdict, off.verdict);
+        let mut on_stats = on.stats.clone();
+        on_stats.preanalysis = crate::PreanalysisStats::default();
+        assert_eq!(on_stats, off.stats, "identity fast-path must be byte-identical");
     }
 
     /// Multi-bad runs resume past already-proved bads: the checkpoint

@@ -44,7 +44,7 @@ pub use design::{Design, DesignError};
 pub use expr::{Expr, ExprArena, ExprId, NetId};
 pub use lower::LoweredAig;
 pub use module::{Conn, Instance, Module, Net, Port, PortDir, Reg};
-pub use validate::{Driver, ValidateError};
+pub use validate::{Driver, ValidateError, ValidateReport, ValidateWarning};
 pub use value::Value;
 
 /// Re-export of the AIG crate for downstream convenience.

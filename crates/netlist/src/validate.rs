@@ -50,6 +50,64 @@ impl fmt::Display for ValidateError {
 
 impl Error for ValidateError {}
 
+/// Non-fatal findings from [`Module::validate_all`]: worth reporting to
+/// the user, but never grounds for rejecting the module.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidateWarning {
+    /// A driven, non-output net that nothing reads — dead logic a
+    /// frontend probably meant to hook up (or prune).
+    UnreadNet {
+        /// The unread net's name.
+        net: String,
+    },
+}
+
+impl fmt::Display for ValidateWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateWarning::UnreadNet { net } => {
+                write!(f, "net {net} is driven but never read")
+            }
+        }
+    }
+}
+
+/// Complete diagnostics from one [`Module::validate_all`] pass: every
+/// structural violation plus the non-fatal warnings, so frontends can
+/// report everything wrong with a module at once instead of fixing one
+/// error per compile cycle.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ValidateReport {
+    /// All structural rule violations, in discovery order (drivers,
+    /// then reads, then cycles).
+    pub errors: Vec<ValidateError>,
+    /// Non-fatal findings; a module with only warnings is still valid.
+    pub warnings: Vec<ValidateWarning>,
+}
+
+impl ValidateReport {
+    /// True when no *errors* were found (warnings are allowed).
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Renders every error and warning, one per line.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for e in &self.errors {
+            s.push_str("error: ");
+            s.push_str(&e.to_string());
+            s.push('\n');
+        }
+        for w in &self.warnings {
+            s.push_str("warning: ");
+            s.push_str(&w.to_string());
+            s.push('\n');
+        }
+        s
+    }
+}
+
 /// How a net is driven, as discovered by validation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Driver {
@@ -135,6 +193,88 @@ impl Module {
             }
         }
         self.comb_schedule().map(|_| ())
+    }
+
+    /// Validates structure like [`Module::validate`], but collects
+    /// **every** violation instead of stopping at the first, and adds
+    /// non-fatal warnings ([`ValidateWarning::UnreadNet`]) — one pass,
+    /// complete diagnostics.
+    ///
+    /// Unlike [`Module::drivers`], a second driver on an input port is
+    /// classified as the more precise [`ValidateError::DrivenInput`]
+    /// here rather than `MultipleDrivers`.
+    pub fn validate_all(&self) -> ValidateReport {
+        let mut report = ValidateReport::default();
+        // Drivers, collecting every conflict while keeping the first
+        // driver of each net so downstream checks still run.
+        let mut map: BTreeMap<NetId, Driver> = BTreeMap::new();
+        let mut set = |net: NetId, d: Driver, report: &mut ValidateReport| {
+            if let Some(prev) = map.get(&net) {
+                let name = self.net(net).name.clone();
+                report.errors.push(if *prev == Driver::Input {
+                    ValidateError::DrivenInput { net: name }
+                } else {
+                    ValidateError::MultipleDrivers { net: name }
+                });
+            } else {
+                map.insert(net, d);
+            }
+        };
+        for p in self.inputs() {
+            set(p.net, Driver::Input, &mut report);
+        }
+        for (i, (net, _)) in self.assigns.iter().enumerate() {
+            set(*net, Driver::Assign(i), &mut report);
+        }
+        for (i, r) in self.regs.iter().enumerate() {
+            set(r.q, Driver::Reg(i), &mut report);
+        }
+        for (i, inst) in self.instances.iter().enumerate() {
+            for conn in inst.conns.values() {
+                if let Conn::Out(n) = conn {
+                    set(*n, Driver::InstanceOut(i), &mut report);
+                }
+            }
+        }
+        // Reads: every read net must be driven; every driven non-output
+        // net should be read somewhere.
+        let mut read: BTreeSet<NetId> = BTreeSet::new();
+        for (_, e) in &self.assigns {
+            read.extend(self.arena.support(*e));
+        }
+        for r in &self.regs {
+            read.extend(self.arena.support(r.next));
+        }
+        for inst in &self.instances {
+            for conn in inst.conns.values() {
+                if let Conn::In(e) = conn {
+                    read.extend(self.arena.support(*e));
+                }
+            }
+        }
+        for p in self.outputs() {
+            read.insert(p.net);
+        }
+        for n in &read {
+            if !map.contains_key(n) {
+                report
+                    .errors
+                    .push(ValidateError::Undriven { net: self.net(*n).name.clone() });
+            }
+        }
+        for (n, d) in &map {
+            // Input ports are stimulus, not logic — an unused input is
+            // an interface question, not dead internal logic.
+            if *d != Driver::Input && !read.contains(n) {
+                report
+                    .warnings
+                    .push(ValidateWarning::UnreadNet { net: self.net(*n).name.clone() });
+            }
+        }
+        if let Err(e) = self.comb_schedule() {
+            report.errors.push(e);
+        }
+        report
     }
 
     /// Returns the indices of `assigns` in dependency order: an assignment
@@ -288,6 +428,92 @@ mod tests {
         let t = m.lit(1, 0);
         m.assign(a, t);
         assert!(matches!(m.validate(), Err(ValidateError::MultipleDrivers { .. })));
+    }
+
+    #[test]
+    fn validate_all_collects_every_violation() {
+        // One module, three distinct problems: a double-driven output,
+        // an internally-driven input, and an undriven read — plus an
+        // unread net for the warning channel. `validate()` stops at the
+        // first; `validate_all()` must report them all.
+        let mut m = Module::new("m");
+        let a = m.add_port("a", PortDir::Input, 1);
+        let y = m.add_port("y", PortDir::Output, 1);
+        let t = m.lit(1, 0);
+        let u = m.lit(1, 1);
+        m.assign(y, t);
+        m.assign(y, u); // MultipleDrivers(y)
+        let v = m.lit(1, 0);
+        m.assign(a, v); // DrivenInput(a)
+        let ghost = m.add_net("ghost", 1);
+        let unread = m.add_net("unread", 1);
+        let eg = m.sig(ghost);
+        m.assign(unread, eg); // Undriven(ghost) + UnreadNet(unread)
+        let report = m.validate_all();
+        assert!(!report.is_clean());
+        assert!(report
+            .errors
+            .contains(&ValidateError::MultipleDrivers { net: "y".into() }));
+        assert!(report.errors.contains(&ValidateError::DrivenInput { net: "a".into() }));
+        assert!(report.errors.contains(&ValidateError::Undriven { net: "ghost".into() }));
+        assert_eq!(report.errors.len(), 3, "{:?}", report.errors);
+        assert_eq!(
+            report.warnings,
+            vec![ValidateWarning::UnreadNet { net: "unread".into() }]
+        );
+        // validate() still reports only the first failure.
+        assert!(matches!(m.validate(), Err(ValidateError::MultipleDrivers { .. })));
+        // The rendering carries both severities.
+        let text = report.render();
+        assert!(text.contains("error: net y has multiple drivers"));
+        assert!(text.contains("warning: net unread is driven but never read"));
+    }
+
+    #[test]
+    fn validate_all_warnings_are_non_fatal() {
+        // A module whose only finding is an unread register: clean.
+        let mut m = Module::new("m");
+        let a = m.add_port("a", PortDir::Input, 1);
+        let y = m.add_port("y", PortDir::Output, 1);
+        let ea = m.sig(a);
+        m.assign(y, ea);
+        let q = m.add_net("q", 1);
+        let ea2 = m.sig(a);
+        m.add_reg(q, ea2, Value::from_u64(1, 0));
+        let report = m.validate_all();
+        assert!(report.is_clean());
+        assert_eq!(report.warnings, vec![ValidateWarning::UnreadNet { net: "q".into() }]);
+        assert!(m.validate().is_ok(), "warnings must not fail validate()");
+    }
+
+    #[test]
+    fn validate_all_clean_module_is_empty() {
+        let mut m = Module::new("m");
+        let a = m.add_port("a", PortDir::Input, 4);
+        let y = m.add_port("y", PortDir::Output, 4);
+        let ea = m.sig(a);
+        m.assign(y, ea);
+        let report = m.validate_all();
+        assert_eq!(report, ValidateReport::default());
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn validate_all_reports_cycles_alongside_other_errors() {
+        let mut m = Module::new("m");
+        let a = m.add_net("a", 1);
+        let b = m.add_net("b", 1);
+        let ea = m.sig(a);
+        let eb = m.sig(b);
+        let na = m.arena.add(Expr::Not(ea));
+        let nb = m.arena.add(Expr::Not(eb));
+        m.assign(b, na);
+        m.assign(a, nb);
+        let report = m.validate_all();
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| matches!(e, ValidateError::CombinationalCycle { .. })));
     }
 
     #[test]

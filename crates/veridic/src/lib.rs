@@ -60,6 +60,10 @@ pub use veridic_verilog as verilog;
 /// The working set of the methodology: one import for examples and
 /// downstream tools.
 pub mod prelude {
+    pub use veridic_aig::analyze::{
+        analyze, fold_constants, ternary_sweep, ConstantNet, DesignReport, FoldResult, StuckLatch,
+        SweepResult, Ternary,
+    };
     pub use veridic_aig::Aig;
     pub use veridic_chipgen::{
         build_leaf, build_plans, observe_symptom, BugId, Category, Chip, ChipConfig, LeafPlan,
@@ -88,7 +92,7 @@ pub mod prelude {
         check, check_one, pobdd_reach, BadCoiStats, BddWorkerStats, Budget, CancelToken,
         CheckOptions, CheckOptionsBuilder, CheckResult, CheckStats, Engine, EngineCheckpoint,
         EngineCtx, EngineEvent, EngineId, EngineOutcome, EventOutcome, EventResources, Portfolio,
-        PortfolioOutcome, ReachCheckpoint, RunCheckpoint, Verdict,
+        PortfolioOutcome, PreanalysisStats, ReachCheckpoint, RunCheckpoint, Verdict, PREANALYSIS,
     };
     pub use veridic_netlist::{Design, Expr, Module, NetId, PortDir, Value};
     pub use veridic_psl::{compile_vunit, parse_psl};

@@ -302,7 +302,7 @@ pub mod collection {
     use std::ops::Range;
 
     /// A strategy for `Vec`s with length drawn from a range; see
-    /// [`vec`].
+    /// [`vec()`].
     #[derive(Clone)]
     pub struct VecStrategy<S> {
         element: S,
