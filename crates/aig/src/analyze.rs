@@ -33,7 +33,15 @@
 //! portfolio's zero-engine conclusions) safe.
 
 use crate::hash::FxHashMap;
+use crate::structure::LatchGraph;
 use crate::{Aig, LatchId, Lit, Node, Var};
+
+/// Direct AND-fanin reference count at which an unconstrained input is
+/// reported as a fanout hot spot. Absolute, not relative: small clean
+/// designs never trip it, while a free input steering half a real
+/// netlist — the classic unconstrained-clock-enable mistake — always
+/// does.
+pub const FANOUT_HOTSPOT_THRESHOLD: usize = 64;
 
 /// A value in the three-valued constant-propagation lattice:
 /// `False < X`, `True < X`.
@@ -207,6 +215,147 @@ fn lit_value_in(values: &[Ternary], lit: Lit) -> Ternary {
     }
 }
 
+/// The fixpoint of [`ternary_sweep_constrained`]: the plain sweep
+/// lattice strengthened by the design's constraints.
+#[derive(Clone, Debug)]
+pub struct ConstrainedSweep {
+    /// The strengthened sweep. Values here hold on every state of a
+    /// *constraint-satisfying* trace prefix — a strictly smaller set
+    /// than the plain sweep reasons about, so more nets come out
+    /// constant.
+    pub sweep: SweepResult,
+    /// The forced-value closure of the constraint literals, sorted by
+    /// variable: every (var, value) pair the constraints pin on each
+    /// cycle they hold.
+    pub forced: Vec<(Var, bool)>,
+    /// True when the constraints are statically unsatisfiable — they
+    /// force contradictory values, contradict a latch's reset value, or
+    /// force a net the sweep proves is the opposite constant. No
+    /// constrained path exists at all; every property is vacuous.
+    pub contradiction: bool,
+}
+
+/// Runs the ternary sweep with the constraints folded in as forced
+/// values.
+///
+/// Each constraint literal must be true on every cycle of a valid
+/// trace, so its structural closure — both fanins of a forced-true AND,
+/// the forced-false AND behind a negated literal, forced inputs and
+/// latches — participates in the fixpoint as constants rather than X.
+/// Latches a constraint pins are clamped to the pinned value each
+/// round: on any cycle where the constraints hold (which includes every
+/// cycle a bad may legally fire, under aiger semantics) the latch
+/// carries that value.
+///
+/// The strengthening is one-sided by design: it may only *lower*
+/// values (X → constant) relative to [`ternary_sweep`], never flip a
+/// constant, so conclusions drawn from it are sound for the **proved**
+/// direction (a bad constant-false here is unreachable under the
+/// constraints). It must *not* be used to fabricate counterexamples —
+/// a bad constant-true here still needs an engine to exhibit a
+/// constraint-satisfying input sequence.
+pub fn ternary_sweep_constrained(aig: &Aig) -> ConstrainedSweep {
+    // Forced-true closure of the constraint literals.
+    let mut forced: FxHashMap<Var, bool> = FxHashMap::default();
+    let mut contradiction = false;
+    let mut work: Vec<(Var, bool)> = Vec::new();
+    for c in aig.constraints() {
+        work.push((c.lit.var(), !c.lit.is_compl()));
+    }
+    while let Some((v, val)) = work.pop() {
+        match forced.get(&v) {
+            Some(&prev) if prev != val => {
+                contradiction = true;
+                continue;
+            }
+            Some(_) => continue,
+            None => {}
+        }
+        forced.insert(v, val);
+        match aig.node_kind(v) {
+            // The constant node is false; forcing it true is absurd.
+            Node::Const0 => contradiction |= val,
+            Node::Input { .. } | Node::Latch { .. } => {}
+            Node::And { a, b } => {
+                // A forced-true AND forces both fanins; a forced-false
+                // AND pins only itself (either leg could be the low
+                // one).
+                if val {
+                    work.push((a.var(), !a.is_compl()));
+                    work.push((b.var(), !b.is_compl()));
+                }
+            }
+        }
+    }
+    // A forced latch whose reset value disagrees violates the
+    // constraints at cycle 0: no valid trace exists.
+    for latch in aig.latches() {
+        if let Some(&val) = forced.get(&latch.var) {
+            if val != latch.init {
+                contradiction = true;
+            }
+        }
+    }
+    // The sweep fixpoint, with forced inputs as constants, forced
+    // latches clamped each round, and forced ANDs overriding X (an AND
+    // the sweep computes as the *opposite* constant is a contradiction:
+    // the constraint can never hold, not even combinationally).
+    let n = aig.num_nodes();
+    let mut latch_values: Vec<Ternary> = aig
+        .latches()
+        .iter()
+        .map(|l| Ternary::from_bool(*forced.get(&l.var).unwrap_or(&l.init)))
+        .collect();
+    let mut values = vec![Ternary::X; n];
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        for i in 0..n {
+            let v = Var(i as u32);
+            values[i] = match aig.node_kind(v) {
+                Node::Const0 => Ternary::False,
+                Node::Input { .. } => match forced.get(&v) {
+                    Some(&val) => Ternary::from_bool(val),
+                    None => Ternary::X,
+                },
+                Node::Latch { index } => latch_values[*index as usize],
+                Node::And { a, b } => {
+                    let computed = lit_value_in(&values, *a).and(lit_value_in(&values, *b));
+                    match (forced.get(&v), computed) {
+                        (Some(&val), Ternary::X) => Ternary::from_bool(val),
+                        (Some(&val), c) if c != Ternary::from_bool(val) => {
+                            contradiction = true;
+                            c
+                        }
+                        _ => computed,
+                    }
+                }
+            };
+        }
+        let mut changed = false;
+        for (i, latch) in aig.latches().iter().enumerate() {
+            let joined = match forced.get(&latch.var) {
+                Some(&val) => Ternary::from_bool(val),
+                None => latch_values[i].join(lit_value_in(&values, latch.next)),
+            };
+            if joined != latch_values[i] {
+                latch_values[i] = joined;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut forced: Vec<(Var, bool)> = forced.into_iter().collect();
+    forced.sort_unstable_by_key(|&(v, _)| v.0);
+    ConstrainedSweep {
+        sweep: SweepResult { values, latch_values, rounds },
+        forced,
+        contradiction,
+    }
+}
+
 /// The result of [`fold_constants`]: the simplified AIG plus the
 /// literal map back to the original.
 #[derive(Clone, Debug)]
@@ -305,7 +454,7 @@ pub fn fold_constants(aig: &Aig, sweep: &SweepResult) -> Option<FoldResult> {
         if let Some(c) = sweep.lit_value(l).to_bool() {
             return if c { Lit::TRUE } else { Lit::FALSE };
         }
-        let base = *lit_map.get(&l.var()).expect("fold mapping missed an alive node");
+        let base = *lit_map.get(&l.var()).expect("fold mapping missed an alive node"); // lint: allow
         if l.is_compl() {
             !base
         } else {
@@ -413,6 +562,23 @@ pub struct DesignReport {
     pub dead_ands: usize,
     /// Inputs feeding no bad, constraint, or output cone at all.
     pub unused_inputs: Vec<String>,
+    /// Combinational cycles found at the netlist/AIG boundary. An AIG
+    /// itself is acyclic by construction, so [`analyze`] always leaves
+    /// this empty; boundary tooling (the `structure_lint` driver, the
+    /// lowering pipeline) merges cycle findings from the source netlist
+    /// here, one rendered cycle per entry.
+    pub comb_loops: Vec<String>,
+    /// Unconstrained-input fanout hot spots: inputs outside every
+    /// constraint cone whose direct AND fanout reaches
+    /// [`FANOUT_HOTSPOT_THRESHOLD`] — free variables steering large
+    /// swaths of logic, the usual sign of a missing environment
+    /// assumption.
+    pub fanout_hotspots: Vec<String>,
+    /// Rank-unreachable latches: latches whose SCC in the latch
+    /// dependency graph is not reachable from any input-driven logic.
+    /// Autonomous state no input sequence can influence — such cones
+    /// are verified against their reset orbit only.
+    pub unreachable_latches: Vec<String>,
 }
 
 impl DesignReport {
@@ -427,6 +593,9 @@ impl DesignReport {
             && self.dead_latches.is_empty()
             && self.dead_ands == 0
             && self.unused_inputs.is_empty()
+            && self.comb_loops.is_empty()
+            && self.fanout_hotspots.is_empty()
+            && self.unreachable_latches.is_empty()
     }
 
     /// Total number of findings (each dead AND counts once).
@@ -440,6 +609,9 @@ impl DesignReport {
             + self.dead_latches.len()
             + self.dead_ands
             + self.unused_inputs.len()
+            + self.comb_loops.len()
+            + self.fanout_hotspots.len()
+            + self.unreachable_latches.len()
     }
 
     /// Renders the findings as human-readable lint lines, one per
@@ -494,6 +666,21 @@ impl DesignReport {
         }
         if !self.unused_inputs.is_empty() {
             lines.push(format!("unused inputs: {}", self.unused_inputs.join(", ")));
+        }
+        if !self.comb_loops.is_empty() {
+            lines.push(format!("combinational loops: {}", self.comb_loops.join("; ")));
+        }
+        if !self.fanout_hotspots.is_empty() {
+            lines.push(format!(
+                "unconstrained fanout hot spots: {}",
+                self.fanout_hotspots.join(", ")
+            ));
+        }
+        if !self.unreachable_latches.is_empty() {
+            lines.push(format!(
+                "input-unreachable latches: {}",
+                self.unreachable_latches.join(", ")
+            ));
         }
         lines
     }
@@ -555,6 +742,29 @@ pub fn analyze(aig: &Aig) -> DesignReport {
         if !any_cone[var.0 as usize] {
             report.unused_inputs.push(name.clone());
         }
+    }
+    // Structural lints from the latch dependency graph: fanout hot
+    // spots on unconstrained inputs, and autonomous (rank-unreachable)
+    // latch SCCs. `comb_loops` stays empty here — AIG construction is
+    // topological, cycles only exist upstream at the netlist boundary.
+    let mut fanout = vec![0usize; aig.num_nodes()];
+    for v in aig.and_order() {
+        if let Some((a, b)) = aig.and_fanins(v) {
+            fanout[a.var().0 as usize] += 1;
+            fanout[b.var().0 as usize] += 1;
+        }
+    }
+    let constraint_cone = cone_vars(aig, aig.constraints().iter());
+    for (var, name) in aig.inputs() {
+        if !constraint_cone[var.0 as usize]
+            && fanout[var.0 as usize] >= FANOUT_HOTSPOT_THRESHOLD
+        {
+            report.fanout_hotspots.push(name.clone());
+        }
+    }
+    let condensation = LatchGraph::build(aig).condense();
+    for id in condensation.input_unreachable_latches() {
+        report.unreachable_latches.push(aig.latch_info(id).name.clone());
     }
     report
 }
@@ -787,6 +997,120 @@ mod tests {
         // `b` feeds the output cone, so only `floating` is unused.
         assert_eq!(report.unused_inputs, vec!["floating".to_string()]);
         assert!(report.stuck_latches.is_empty(), "free-running latches are not stuck");
+    }
+
+    #[test]
+    fn constrained_sweep_forces_inputs_through_the_closure() {
+        // constraint = a AND b (positive AND literal): both inputs
+        // forced true, so bad = q AND !a is constant false even though
+        // the plain sweep sees X.
+        let mut g = Aig::new();
+        let a = g.input("a");
+        let b = g.input("b");
+        let (id, q) = g.latch("q", false);
+        g.set_next(id, b);
+        let c = g.and(a, b);
+        g.add_constraint("ab", c);
+        let na = !a;
+        let bad = g.and(q, na);
+        g.add_bad("q_and_not_a", bad);
+        let plain = ternary_sweep(&g);
+        assert_eq!(plain.lit_value(bad), Ternary::X);
+        let cs = ternary_sweep_constrained(&g);
+        assert!(!cs.contradiction);
+        assert_eq!(cs.sweep.lit_value(a), Ternary::True);
+        assert_eq!(cs.sweep.lit_value(b), Ternary::True);
+        assert_eq!(cs.sweep.lit_value(bad), Ternary::False);
+        // The forced closure pins a, b and the AND itself.
+        assert_eq!(cs.forced.len(), 3);
+        // And the clamp propagates: q is fed by forced-true b, so after
+        // the join q is X (init 0, then 1) — not constant.
+        assert_eq!(cs.sweep.latch_value(LatchId(0)), Ternary::X);
+    }
+
+    #[test]
+    fn constrained_sweep_clamps_forced_latches() {
+        // constraint pins latch s (init true, next = input): on every
+        // constrained cycle s is 1, so bad = !s is vacuous.
+        let mut g = Aig::new();
+        let i = g.input("i");
+        let (id, s) = g.latch("s", true);
+        g.set_next(id, i);
+        g.add_constraint("s_high", s);
+        g.add_bad("s_low", !s);
+        let plain = ternary_sweep(&g);
+        assert_eq!(plain.lit_value(s), Ternary::X);
+        let cs = ternary_sweep_constrained(&g);
+        assert!(!cs.contradiction);
+        assert_eq!(cs.sweep.lit_value(!s), Ternary::False);
+    }
+
+    #[test]
+    fn constrained_sweep_detects_contradictions() {
+        // Two constraints forcing an input both ways.
+        let mut g = Aig::new();
+        let a = g.input("a");
+        g.add_constraint("a_high", a);
+        g.add_constraint("a_low", !a);
+        g.add_bad("whatever", a);
+        assert!(ternary_sweep_constrained(&g).contradiction);
+        // A forced latch whose reset value disagrees.
+        let mut g2 = Aig::new();
+        let i = g2.input("i");
+        let (id, s) = g2.latch("s", false);
+        g2.set_next(id, i);
+        g2.add_constraint("s_high", s);
+        g2.add_bad("whatever", s);
+        assert!(ternary_sweep_constrained(&g2).contradiction);
+        // A forced net the sweep proves constant the other way.
+        let mut g3 = Aig::new();
+        let (id, s) = g3.latch("stuck0", false);
+        g3.set_next(id, s);
+        let a = g3.input("a");
+        let c = g3.and(s, a);
+        g3.add_constraint("impossible", c);
+        g3.add_bad("whatever", a);
+        assert!(ternary_sweep_constrained(&g3).contradiction);
+    }
+
+    #[test]
+    fn constrained_sweep_without_constraints_matches_plain() {
+        let (g, t, s0, s1) = mixed_aig();
+        let plain = ternary_sweep(&g);
+        let cs = ternary_sweep_constrained(&g);
+        assert!(!cs.contradiction);
+        assert!(cs.forced.is_empty());
+        for lit in [t, s0, s1] {
+            assert_eq!(cs.sweep.lit_value(lit), plain.lit_value(lit));
+        }
+        assert_eq!(cs.sweep.rounds, plain.rounds);
+    }
+
+    #[test]
+    fn analyze_reports_unreachable_latches_and_hotspots() {
+        let mut g = Aig::new();
+        // An autonomous two-latch ring never touched by inputs.
+        let (x, qx) = g.latch("ring_x", false);
+        let (y, qy) = g.latch("ring_y", true);
+        g.set_next(x, qy);
+        g.set_next(y, qx);
+        // A free input fanning out past the hot-spot threshold.
+        let free = g.input("free");
+        let others: Vec<Lit> =
+            (0..FANOUT_HOTSPOT_THRESHOLD).map(|i| g.input(format!("o{i}"))).collect();
+        let ands: Vec<Lit> = others.iter().map(|&o| g.and(free, o)).collect();
+        let any = g.or_many(ands);
+        let ring_bad = g.and(qx, any);
+        g.add_bad("ring_and_any", ring_bad);
+        let report = analyze(&g);
+        assert_eq!(report.unreachable_latches, vec!["ring_x".to_string(), "ring_y".to_string()]);
+        assert_eq!(report.fanout_hotspots, vec!["free".to_string()]);
+        assert!(report.comb_loops.is_empty(), "AIGs cannot hold comb cycles");
+        assert!(!report.is_clean());
+        // Constraining the hot input silences the hot-spot lint.
+        g.add_constraint("free_low", !free);
+        let constrained = analyze(&g);
+        assert!(constrained.fanout_hotspots.is_empty());
     }
 
     #[test]

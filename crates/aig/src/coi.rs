@@ -101,7 +101,7 @@ impl Aig {
 fn map_lit(l: Lit, lit_map: &FxHashMap<Var, Lit>) -> Lit {
     let base = *lit_map
         .get(&l.var())
-        .expect("COI mapping missed a needed node");
+        .expect("COI mapping missed a needed node"); // lint: allow
     if l.is_compl() {
         !base
     } else {

@@ -27,6 +27,7 @@ pub mod analyze;
 mod coi;
 pub mod hash;
 mod sim;
+pub mod structure;
 
 pub use coi::CoiResult;
 pub use sim::{CycleReport, CycleValues, SimState};

@@ -166,8 +166,8 @@ impl BddManager {
                     tasks.push(IteFrame::Apply(f0, g0, h0));
                 }
                 IteFrame::Reduce { v, key, neg } => {
-                    let hi = results.pop().expect("hi cofactor result");
-                    let lo = results.pop().expect("lo cofactor result");
+                    let hi = results.pop().expect("hi cofactor result"); // lint: allow
+                    let lo = results.pop().expect("lo cofactor result"); // lint: allow
                     match self.mk(v, lo, hi) {
                         Ok(r) => {
                             self.ite_cache.insert(key, (r, self.cache_epoch));
@@ -185,7 +185,7 @@ impl BddManager {
             Some(e) => Err(e),
             None => {
                 debug_assert_eq!(results.len(), 1);
-                Ok(results.pop().expect("final ITE result"))
+                Ok(results.pop().expect("final ITE result")) // lint: allow
             }
         };
         tasks.clear();

@@ -559,7 +559,7 @@ pub fn import_delta(
         if r.is_terminal() {
             NodeId(r.0)
         } else {
-            let base = memo[r.slot()].expect("children precede parents");
+            let base = memo[r.slot()].expect("children precede parents"); // lint: allow
             if r.is_complemented() {
                 !base
             } else {

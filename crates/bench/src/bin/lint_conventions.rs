@@ -1,13 +1,13 @@
 //! Repo-convention lint: the static-analysis gate for the source tree
 //! itself, run next to clippy in CI.
 //!
-//! Two rule families, both plain line scans (no syntax tree — the
+//! Three rule families, all plain line scans (no syntax tree — the
 //! conventions are deliberately simple enough that grep-level precision
 //! suffices):
 //!
 //! 1. **Deterministic hashing in the engine crates.** `aig`, `bdd`,
-//!    `mc` and `sat` standardized on `FxHashMap`/`FxHashSet`
-//!    (`veridic_aig::hash`) — a default-hasher
+//!    `mc`, `sat`, `core` and `netlist` standardized on
+//!    `FxHashMap`/`FxHashSet` (`veridic_aig::hash`) — a default-hasher
 //!    `std::collections::HashMap`/`HashSet` there reintroduces
 //!    run-to-run iteration nondeterminism and the slower SipHash. Any
 //!    `HashMap`/`HashSet` token in those crates must be the Fx variant
@@ -16,14 +16,27 @@
 //! 2. **No leftover debug scaffolding anywhere in `crates/`.**
 //!    `dbg!`, `todo!` and `unimplemented!` are fine while developing
 //!    and wrong in a commit.
+//! 3. **No bare `unwrap()`/`expect()` in engine library code.** A
+//!    panic in a library path takes the whole check (or a whole
+//!    campaign worker) down; engine code threads `Result`s instead.
+//!    Invariant assertions that genuinely cannot fire are allowed, but
+//!    each must carry a `// lint: allow` marker on the same line — the
+//!    marker is the review record that the panic was vetted. Test
+//!    modules (everything from a `#[cfg(test)] mod` on) are exempt:
+//!    panicking on a broken expectation is what tests are for.
 //!
 //! Usage: `cargo run -p veridic-bench --bin lint_conventions`
 //! (exits 1 with one line per violation).
 
 use std::path::{Path, PathBuf};
 
-/// Crates standardized on FxHash (PR 2).
-const FX_CRATES: [&str; 4] = ["aig", "bdd", "mc", "sat"];
+/// Crates standardized on FxHash (PR 2; `core` and `netlist` joined in
+/// PR 9).
+const FX_CRATES: [&str; 6] = ["aig", "bdd", "mc", "sat", "core", "netlist"];
+
+/// Crates whose library code may not panic via bare `unwrap`/`expect`
+/// (rule 3). Same set as [`FX_CRATES`]: the engine stack.
+const NO_PANIC_CRATES: [&str; 6] = FX_CRATES;
 
 /// Debug-scaffolding macros banned from committed code. Assembled at
 /// runtime so this file does not flag itself.
@@ -47,8 +60,20 @@ fn main() {
         let in_fx_crate = FX_CRATES
             .iter()
             .any(|c| file.starts_with(crates_dir.join(c).join("src")));
+        let in_no_panic_crate = NO_PANIC_CRATES
+            .iter()
+            .any(|c| file.starts_with(crates_dir.join(c).join("src")));
+        // Rule 3 scans library code only: stop at the `#[cfg(test)]`
+        // that opens a test module (a `#[cfg(test)]` on a lone `use` or
+        // item does not end the library part of the file).
+        let mut in_tests = false;
+        let mut pending_cfg_test = false;
         for (lineno, line) in text.lines().enumerate() {
             let code = line.trim_start();
+            if pending_cfg_test && (code.starts_with("mod ") || code.starts_with("pub mod ")) {
+                in_tests = true;
+            }
+            pending_cfg_test = code.starts_with("#[cfg(test)]");
             if code.starts_with("//") {
                 continue; // comments and doc prose may name the types
             }
@@ -60,6 +85,17 @@ fn main() {
                 violations.push(format!(
                     "{display}:{}: default-hasher HashMap/HashSet in an FxHash crate \
                      (use veridic_aig::hash::FxHashMap/FxHashSet)",
+                    lineno + 1
+                ));
+            }
+            if in_no_panic_crate
+                && !in_tests
+                && (code.contains(".unwrap()") || code.contains(".expect("))
+                && !code.contains("// lint: allow")
+            {
+                violations.push(format!(
+                    "{display}:{}: bare unwrap/expect in engine library code \
+                     (thread a Result, or vet the invariant and mark the line `// lint: allow`)",
                     lineno + 1
                 ));
             }

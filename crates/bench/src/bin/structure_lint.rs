@@ -1,0 +1,105 @@
+//! Structural lint gate: runs the static design lints over every
+//! in-tree chipgen stereotype property and compares the findings
+//! against the checked-in goldens.
+//!
+//! For each Small-scale leaf plan, the clean (bug-free) module is made
+//! Verifiable, its stereotype vunits are generated and compiled, and
+//! each property cone gets the full static treatment:
+//!
+//! * [`veridic::prelude::analyze`] — ternary sweep, dead logic,
+//!   fanout hot spots, rank-unreachable latches on the lowered AIG;
+//! * `Module::comb_loops` on the instrumented netlist, merged into the
+//!   report's `comb_loops` (AIGs are acyclic by construction, so the
+//!   boundary is the only place cycles can exist).
+//!
+//! The rendered findings are compared line-for-line against
+//! `STRUCTURE_GOLDENS.txt` at the repo root. Any drift — a new finding
+//! appearing or a recorded one disappearing — exits 1 so CI catches
+//! structural regressions the functional suites cannot see.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p veridic-bench --bin structure_lint            # check
+//! cargo run -p veridic-bench --bin structure_lint -- --write # regen
+//! ```
+
+use veridic::prelude::*;
+use veridic_bench::aig_of;
+
+/// Renders the structural findings for every Small-scale stereotype
+/// property, one block per property cone.
+fn render_all() -> String {
+    let mut out = String::new();
+    out.push_str(
+        "# Structural lint goldens: `cargo run -p veridic-bench --bin structure_lint -- --write`\n\
+         # One block per Small-scale chipgen stereotype property; `clean` means the\n\
+         # static analysis (sweep + structure) found nothing to report.\n",
+    );
+    for plan in &build_plans(Scale::Small) {
+        let module = build_leaf(plan, None);
+        let vm = make_verifiable(&module).expect("chipgen module is transformable");
+        for (g, compiled) in generate_all(&vm).expect("vunits generate") {
+            let aig = aig_of(&compiled);
+            let mut report = analyze(&aig);
+            for cycle in compiled.module.comb_loops() {
+                report.comb_loops.push(cycle.join(" -> "));
+            }
+            let label = format!("{}/{:?}", plan.name, g.ptype);
+            if report.is_clean() {
+                out.push_str(&format!("{label}: clean\n"));
+            } else {
+                out.push_str(&format!("{label}:\n"));
+                for line in report.render() {
+                    out.push_str(&format!("  {line}\n"));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let golden_path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("STRUCTURE_GOLDENS.txt");
+    let current = render_all();
+    if std::env::args().any(|a| a == "--write") {
+        std::fs::write(&golden_path, &current).expect("write goldens");
+        println!("structure_lint: wrote {}", golden_path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        eprintln!(
+            "structure_lint: cannot read {} ({e}); run with --write to create it",
+            golden_path.display()
+        );
+        std::process::exit(1);
+    });
+    if golden == current {
+        println!("structure_lint: findings match the goldens");
+        return;
+    }
+    eprintln!("structure_lint: findings drifted from STRUCTURE_GOLDENS.txt:");
+    for (i, (g, c)) in golden.lines().zip(current.lines()).enumerate() {
+        if g != c {
+            eprintln!("  line {}: golden `{g}` vs current `{c}`", i + 1);
+        }
+    }
+    let (gl, cl) = (golden.lines().count(), current.lines().count());
+    if gl != cl {
+        eprintln!("  line count changed: {gl} -> {cl}");
+    }
+    eprintln!("re-run with `-- --write` if the change is intentional");
+    std::process::exit(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendered_findings_are_deterministic() {
+        assert_eq!(render_all(), render_all());
+    }
+}

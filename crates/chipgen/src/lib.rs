@@ -20,10 +20,13 @@
 
 mod bugs;
 mod leaf;
+mod order;
 mod plan;
 mod scenario;
 
 pub use bugs::{bug_for_module, BugId, PropertyType};
+pub use order::build_order_stress;
+
 pub use leaf::{
     build_leaf, valid_addresses, EntityKind, B5_CASE, B6_CASE, DECODER_WIDTH, GROUP_WIDTH,
     START_CMD,

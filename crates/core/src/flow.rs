@@ -126,7 +126,7 @@ fn run_module(
     let m = chip
         .design()
         .module(mi.name())
-        .expect("chip lists existing modules");
+        .expect("chip lists existing modules"); // lint: allow
     let (_, units) = match prepare_module(m) {
         Ok(x) => x,
         Err(e) => {
@@ -220,7 +220,7 @@ pub fn run_campaign_with_portfolio(
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("campaign worker panicked"))
+                .map(|h| h.join().expect("campaign worker panicked")) // lint: allow
                 .collect()
         });
         for (i, o) in per_worker.into_iter().flatten() {
@@ -228,7 +228,7 @@ pub fn run_campaign_with_portfolio(
         }
         slots
             .into_iter()
-            .map(|o| o.expect("every module produced an output"))
+            .map(|o| o.expect("every module produced an output")) // lint: allow
             .collect()
     };
     for (records, errors) in outputs {
@@ -278,7 +278,7 @@ impl CampaignReport {
             row.submodules += 1;
         }
         for r in &self.records {
-            let row = rows.get_mut(&r.category).expect("category exists");
+            let row = rows.get_mut(&r.category).expect("category exists"); // lint: allow
             match r.ptype {
                 PropertyType::ErrorDetection => row.p0 += 1,
                 PropertyType::Soundness => row.p1 += 1,
@@ -298,10 +298,10 @@ impl CampaignReport {
                     .modules()
                     .iter()
                     .find(|m| m.name() == module)
-                    .expect("bug module exists")
+                    .expect("bug module exists") // lint: allow
                     .plan()
                     .category;
-                rows.get_mut(&cat).expect("category exists").bugs += 1;
+                rows.get_mut(&cat).expect("category exists").bugs += 1; // lint: allow
             }
             let _ = bug;
         }

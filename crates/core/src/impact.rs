@@ -151,8 +151,8 @@ pub fn area_report(chip: &Chip, costs: &CellCosts) -> Vec<AreaRow> {
     chip.modules()
         .iter()
         .map(|mi| {
-            let m = chip.design().module(mi.name()).expect("module exists");
-            let vm = make_verifiable(m).expect("chip modules transform");
+            let m = chip.design().module(mi.name()).expect("module exists"); // lint: allow
+            let vm = make_verifiable(m).expect("chip modules transform"); // lint: allow
             AreaRow {
                 module: mi.name().to_string(),
                 category: mi.plan().category,

@@ -169,7 +169,7 @@ pub fn other_vunit(vm: &VerifiableModule) -> Option<String> {
     let _ = writeln!(s, "    property pNoErrInjection = always ( ~(|{EC_PORT}) );");
     let _ = writeln!(s, "    assume   pNoErrInjection;");
     for (k, ent) in legal.iter().enumerate() {
-        let max = ent.legal_max.expect("filtered on legal_max");
+        let max = ent.legal_max.expect("filtered on legal_max"); // lint: allow
         let data_w = ent.width - 1;
         // Illegal values: max+1 ..= 2^data_w - 1, enumerated as equality
         // disjuncts (the boolean layer has no magnitude comparison).
@@ -230,7 +230,7 @@ pub fn generate_all(
     for (ptype, source) in sources {
         let units = parse_psl(&source)?;
         assert_eq!(units.len(), 1, "one vunit per stereotype");
-        let unit = units.into_iter().next().expect("one unit");
+        let unit = units.into_iter().next().expect("one unit"); // lint: allow
         let compiled = compile_vunit(&unit, &vm.module)?;
         out.push((GeneratedVUnit { ptype, source, unit }, compiled));
     }

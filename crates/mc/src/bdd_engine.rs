@@ -101,7 +101,29 @@ impl TransitionSystem {
     /// Returns [`BuildError`] — the quota error plus the manager's node
     /// accounting — if construction exceeds the quota even after GC.
     pub fn build(aig: &Aig, node_quota: usize) -> Result<Self, BuildError> {
+        Self::build_with_order(aig, node_quota, None)
+    }
+
+    /// [`TransitionSystem::build`] with the manager's variable order
+    /// seeded before any node exists. `order` is a permutation of the
+    /// full BDD variable space (see `static_bdd_order`); `None` keeps
+    /// the natural interleaved order and is byte-identical to
+    /// [`TransitionSystem::build`] — the seeding is an extra call on an
+    /// empty manager, never a changed one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] — the quota error plus the manager's node
+    /// accounting — if construction exceeds the quota even after GC.
+    pub fn build_with_order(
+        aig: &Aig,
+        node_quota: usize,
+        order: Option<&[u32]>,
+    ) -> Result<Self, BuildError> {
         let mut mgr = BddManager::new(node_quota);
+        if let Some(order) = order {
+            mgr.adopt_order(order);
+        }
         match Self::build_parts(aig, &mut mgr) {
             Ok(parts) => Ok(parts.into_system(mgr, aig)),
             Err(err) => Err(BuildError {
@@ -135,7 +157,7 @@ impl TransitionSystem {
             node_bdd.insert(l.var, b);
         }
         for v in aig.and_order() {
-            let (a, b) = aig.and_fanins(v).expect("AND node");
+            let (a, b) = aig.and_fanins(v).expect("AND node"); // lint: allow
             let ba = lit_bdd(&node_bdd, a);
             let bb = lit_bdd(&node_bdd, b);
             let r = mgr.and(ba, bb)?;
@@ -349,10 +371,48 @@ pub fn bdd_umc(
         max_iterations,
         1,
         false,
+        false,
         stats,
         &mut Budget::unlimited(),
         None,
     )
+}
+
+/// A FORCE static variable order translated into the BDD variable
+/// space, plus the span accounting recorded into
+/// [`CheckStats::static_order_span_before`] /
+/// [`CheckStats::static_order_span_after`].
+pub(crate) struct StaticOrder {
+    /// Permutation of the full BDD variable space `0..2n+i`: each
+    /// latch's `(2i, 2i+1)` twin stays adjacent (so the interleaved
+    /// rename and the dynamic-reorder pair pinning keep working),
+    /// placed at the latch slot's FORCE position; inputs follow their
+    /// own FORCE positions.
+    pub order: Vec<u32>,
+    /// Total hyperedge span of the natural order.
+    pub span_before: u64,
+    /// Total hyperedge span of the adopted order.
+    pub span_after: u64,
+}
+
+/// Computes the FORCE static order for `aig`
+/// (`veridic_aig::structure::force_order`) and translates the
+/// latch/input slot permutation into a BDD variable order. Purely
+/// structural — a function of the AIG alone, identical for every
+/// worker count, lane and window.
+pub(crate) fn static_bdd_order(aig: &Aig) -> StaticOrder {
+    let fo = veridic_aig::structure::force_order(aig);
+    let n = aig.num_latches();
+    let mut order = Vec::with_capacity(2 * n + aig.num_inputs());
+    for &slot in &fo.slots {
+        if (slot as usize) < n {
+            order.push(2 * slot);
+            order.push(2 * slot + 1);
+        } else {
+            order.push((2 * n) as u32 + (slot - n as u32));
+        }
+    }
+    StaticOrder { order, span_before: fo.span_before, span_after: fo.span_after }
 }
 
 /// Arms in-place dynamic reordering on a manager holding a transition
@@ -401,6 +461,12 @@ pub(crate) fn arm_dynamic_reorder(mgr: &mut BddManager, num_latches: usize, node
 /// creates — the serial manager, the coordinator and each image lane.
 /// Verdict, depth and iteration count are unaffected; only node counts
 /// and wall-clock move.
+///
+/// `static_order` seeds every manager the session creates with the
+/// FORCE static variable order (see `static_bdd_order`) before any
+/// node is built. Also verdict/depth/iteration-neutral; with it off no
+/// extra call of any kind is made, so the run is byte-identical to
+/// previous releases.
 #[allow(clippy::too_many_arguments)]
 pub fn bdd_umc_session(
     aig: &Aig,
@@ -408,11 +474,21 @@ pub fn bdd_umc_session(
     max_iterations: usize,
     image_workers: usize,
     dynamic_reorder: bool,
+    static_order: bool,
     stats: &mut CheckStats,
     budget: &mut Budget,
     resume: Option<&ReachCheckpoint>,
 ) -> BddEngineOutcome {
-    let mut ts = match TransitionSystem::build(aig, node_quota) {
+    let seeded = if static_order {
+        let so = static_bdd_order(aig);
+        stats.static_order_span_before = so.span_before;
+        stats.static_order_span_after = so.span_after;
+        Some(so.order)
+    } else {
+        None
+    };
+    let order = seeded.as_deref();
+    let mut ts = match TransitionSystem::build_with_order(aig, node_quota, order) {
         Ok(ts) => ts,
         Err(e) => {
             stats.bdd_nodes = stats.bdd_nodes.max(e.peak_live_nodes);
@@ -441,6 +517,7 @@ pub fn bdd_umc_session(
                 max_iterations,
                 workers,
                 dynamic_reorder,
+                order,
                 &split,
                 stats,
                 budget,
@@ -650,6 +727,7 @@ fn parallel_umc_session(
     max_iterations: usize,
     workers: usize,
     dynamic_reorder: bool,
+    order: Option<&[u32]>,
     split: &[u32],
     stats: &mut CheckStats,
     budget: &mut Budget,
@@ -674,6 +752,7 @@ fn parallel_umc_session(
                     split,
                     node_quota,
                     dynamic_reorder,
+                    order,
                     &down_rx,
                     &up,
                 )
@@ -698,7 +777,7 @@ fn parallel_umc_session(
         }
         let mut lane_stats: Vec<(usize, BddWorkerStats)> = handles
             .into_iter()
-            .flat_map(|h| h.join().expect("image lane worker panicked"))
+            .flat_map(|h| h.join().expect("image lane worker panicked")) // lint: allow
             .collect();
         lane_stats.sort_unstable_by_key(|(l, _)| *l);
         (outcome, lane_stats)
@@ -744,7 +823,7 @@ fn drive_image_rounds(
     // Build barrier.
     let mut built_ok = true;
     for _ in 0..nthreads {
-        let (_, msg) = up_rx.recv().expect("image lane hung up during build");
+        let (_, msg) = up_rx.recv().expect("image lane hung up during build"); // lint: allow
         match msg {
             FromLane::Built { ok } => built_ok &= ok,
             _ => unreachable!("build phase answers with Built"),
@@ -780,7 +859,7 @@ fn drive_image_rounds(
         let mut images: Vec<Option<ExportedBdd>> = (0..nlanes).map(|_| None).collect();
         let mut ok = true;
         for _ in 0..nthreads {
-            let (_, msg) = up_rx.recv().expect("image lane hung up during images");
+            let (_, msg) = up_rx.recv().expect("image lane hung up during images"); // lint: allow
             match msg {
                 FromLane::Images { images: imgs, ok: lane_ok } => {
                     ok &= lane_ok;
@@ -882,8 +961,9 @@ fn lane_setup(
     split: &[u32],
     node_quota: usize,
     dynamic_reorder: bool,
+    order: Option<&[u32]>,
 ) -> Result<ImageLane, BddWorkerStats> {
-    let mut ts = match TransitionSystem::build(aig, node_quota) {
+    let mut ts = match TransitionSystem::build_with_order(aig, node_quota, order) {
         Ok(ts) => ts,
         Err(e) => {
             return Err(BddWorkerStats {
@@ -946,6 +1026,7 @@ fn image_lane_worker(
     split: &[u32],
     node_quota: usize,
     dynamic_reorder: bool,
+    order: Option<&[u32]>,
     rx: &Receiver<ToLane>,
     tx: &Sender<(usize, FromLane)>,
 ) -> Vec<(usize, BddWorkerStats)> {
@@ -955,7 +1036,7 @@ fn image_lane_worker(
         let mut lanes = Vec::with_capacity(owned.len());
         let mut failed: Vec<(usize, BddWorkerStats)> = Vec::new();
         for &l in &owned {
-            match lane_setup(aig, l, split, node_quota, dynamic_reorder) {
+            match lane_setup(aig, l, split, node_quota, dynamic_reorder, order) {
                 Ok(lane) => lanes.push(lane),
                 Err(ws) => failed.push((l, ws)),
             }
@@ -1195,6 +1276,7 @@ mod tests {
                 1000,
                 workers,
                 false,
+                false,
                 &mut stats,
                 &mut Budget::unlimited(),
                 None,
@@ -1237,6 +1319,7 @@ mod tests {
                     100,
                     workers,
                     false,
+                    false,
                     &mut stats,
                     &mut Budget::unlimited(),
                     None,
@@ -1265,6 +1348,7 @@ mod tests {
                 quota,
                 1 << 20,
                 workers,
+                false,
                 false,
                 &mut stats,
                 &mut Budget::unlimited(),

@@ -83,7 +83,7 @@ pub fn bmc_check_budgeted(
     }
     for k in 0..=max_depth {
         while frames.len() <= k {
-            let prev_next: Vec<SLit> = frames.last().unwrap().next_state.clone();
+            let prev_next: Vec<SLit> = frames.last().unwrap().next_state.clone(); // lint: allow
             let mut cb = CnfBuilder::new(&mut solver);
             let f = cb.encode_frame(aig, Some(&prev_next));
             cb.assert_constraints(aig, &f);
@@ -110,7 +110,7 @@ pub fn bmc_check_budgeted(
                 let bad_index = bad_lits
                     .iter()
                     .position(|l| solver.value(l.var()).map(|v| v ^ l.is_neg()) == Some(true))
-                    .expect("some bad literal is true in the model");
+                    .expect("some bad literal is true in the model"); // lint: allow
                 let mut inputs = Vec::with_capacity(k + 1);
                 for frame in frames.iter().take(k + 1) {
                     let row: Vec<bool> = frame
@@ -196,7 +196,7 @@ pub fn induction_check_budgeted(
             frames.push(f0);
         }
         for _ in 0..k {
-            let prev_next: Vec<SLit> = frames.last().unwrap().next_state.clone();
+            let prev_next: Vec<SLit> = frames.last().unwrap().next_state.clone(); // lint: allow
             let mut cb = CnfBuilder::new(&mut solver);
             let f = cb.encode_frame(aig, Some(&prev_next));
             cb.assert_constraints(aig, &f);

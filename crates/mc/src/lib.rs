@@ -240,6 +240,15 @@ pub struct CheckStats {
     pub reorder_nodes_before: u64,
     /// Σ live nodes immediately after each reordering pass.
     pub reorder_nodes_after: u64,
+    /// Total hyperedge span of the natural variable order, recorded by
+    /// the FORCE static-order pass ([`CheckOptions::static_order`]).
+    /// Zero when the pass is off — the pass makes no calls at all then,
+    /// keeping off-runs byte-identical to previous releases.
+    pub static_order_span_before: u64,
+    /// Total hyperedge span of the adopted FORCE order (paired with
+    /// [`CheckStats::static_order_span_before`]: the ratio is the
+    /// locality the static order bought before the first image).
+    pub static_order_span_after: u64,
 }
 
 impl CheckStats {

@@ -64,6 +64,7 @@ pub fn pobdd_reach(
         node_quota,
         max_iterations,
         false,
+        false,
         stats,
         &mut Budget::unlimited(),
         None,
@@ -89,6 +90,14 @@ pub fn pobdd_reach(
 /// creates — the serial manager or each window worker's. Verdict,
 /// depth and iteration count are unaffected; only node counts and
 /// wall-clock move.
+///
+/// `static_order` seeds every manager the session creates with the
+/// FORCE static variable order (see
+/// [`veridic_aig::structure::force_order`]) before its transition
+/// system is built — computed once from the AIG, identical across
+/// workers, and composable with `dynamic_reorder` (sifting starts from
+/// the seeded order). Like reordering, it moves only node counts and
+/// wall-clock, never verdicts, depths or iteration counts.
 #[allow(clippy::too_many_arguments)]
 pub fn pobdd_reach_session(
     aig: &Aig,
@@ -97,6 +106,7 @@ pub fn pobdd_reach_session(
     node_quota: usize,
     max_iterations: usize,
     dynamic_reorder: bool,
+    static_order: bool,
     stats: &mut CheckStats,
     budget: &mut Budget,
     resume: Option<&ReachCheckpoint>,
@@ -107,6 +117,15 @@ pub fn pobdd_reach_session(
             "POBDD resumed with a checkpoint from a different window split"
         );
     }
+    let seeded = if static_order {
+        let so = crate::bdd_engine::static_bdd_order(aig);
+        stats.static_order_span_before = so.span_before;
+        stats.static_order_span_after = so.span_after;
+        Some(so.order)
+    } else {
+        None
+    };
+    let order = seeded.as_deref();
     let workers = effective_workers(workers, window_vars, aig);
     if workers <= 1 {
         serial_reach(
@@ -115,6 +134,7 @@ pub fn pobdd_reach_session(
             node_quota,
             max_iterations,
             dynamic_reorder,
+            order,
             stats,
             budget,
             resume,
@@ -127,6 +147,7 @@ pub fn pobdd_reach_session(
             node_quota,
             max_iterations,
             dynamic_reorder,
+            order,
             stats,
             budget,
             resume,
@@ -199,11 +220,12 @@ fn serial_reach(
     node_quota: usize,
     max_iterations: usize,
     dynamic_reorder: bool,
+    order: Option<&[u32]>,
     stats: &mut CheckStats,
     budget: &mut Budget,
     resume: Option<&ReachCheckpoint>,
 ) -> BddEngineOutcome {
-    let mut ts = match TransitionSystem::build(aig, node_quota) {
+    let mut ts = match TransitionSystem::build_with_order(aig, node_quota, order) {
         Ok(ts) => ts,
         Err(e) => {
             // Quota-exhausted builds used to report 0 nodes in the
@@ -462,6 +484,7 @@ fn parallel_reach(
     node_quota: usize,
     max_iterations: usize,
     dynamic_reorder: bool,
+    order: Option<&[u32]>,
     stats: &mut CheckStats,
     budget: &mut Budget,
     resume: Option<&ReachCheckpoint>,
@@ -482,6 +505,7 @@ fn parallel_reach(
                     window_vars,
                     node_quota,
                     dynamic_reorder,
+                    order,
                     resume,
                     &down_rx,
                     &up,
@@ -507,7 +531,7 @@ fn parallel_reach(
         }
         let worker_stats: Vec<BddWorkerStats> = handles
             .into_iter()
-            .map(|h| h.join().expect("pobdd worker panicked"))
+            .map(|h| h.join().expect("pobdd worker panicked")) // lint: allow
             .collect();
         for ws in &worker_stats {
             stats.bdd_nodes = stats.bdd_nodes.max(ws.peak_live_nodes);
@@ -544,7 +568,7 @@ fn drive_rounds(
     let mut falsified = false;
     let mut owner: Vec<usize> = Vec::new();
     for _ in 0..workers {
-        let (_, msg) = up_rx.recv().expect("pobdd worker hung up during build");
+        let (_, msg) = up_rx.recv().expect("pobdd worker hung up during build"); // lint: allow
         match msg {
             FromWorker::Built { falsified0, ok: worker_ok, owner: map } => {
                 ok &= worker_ok;
@@ -579,7 +603,7 @@ fn drive_rounds(
         let mut all_remote: Vec<Vec<RemotePiece>> = (0..workers).map(|_| Vec::new()).collect();
         let mut ok = true;
         for _ in 0..workers {
-            let (wid, msg) = up_rx.recv().expect("pobdd worker hung up during images");
+            let (wid, msg) = up_rx.recv().expect("pobdd worker hung up during images"); // lint: allow
             match msg {
                 FromWorker::Images { remote, ok: worker_ok } => {
                     ok &= worker_ok;
@@ -611,7 +635,7 @@ fn drive_rounds(
         let mut falsified = false;
         let mut any_new = false;
         for _ in 0..workers {
-            let (_, msg) = up_rx.recv().expect("pobdd worker hung up during absorb");
+            let (_, msg) = up_rx.recv().expect("pobdd worker hung up during absorb"); // lint: allow
             match msg {
                 FromWorker::Absorbed { any_new: new, falsified: f, ok: worker_ok } => {
                     any_new |= new;
@@ -654,7 +678,7 @@ fn checkpoint_workers(
     let mut all_pieces: Vec<CheckpointPiece> = Vec::new();
     let mut ok = true;
     for _ in 0..workers {
-        let (_, msg) = up_rx.recv().expect("pobdd worker hung up during checkpoint");
+        let (_, msg) = up_rx.recv().expect("pobdd worker hung up during checkpoint"); // lint: allow
         match msg {
             FromWorker::Checkpointed { pieces, ok: worker_ok } => {
                 ok &= worker_ok;
@@ -705,6 +729,7 @@ fn window_worker(
     window_vars: u32,
     node_quota: usize,
     dynamic_reorder: bool,
+    order: Option<&[u32]>,
     resume: Option<&ReachCheckpoint>,
     rx: &Receiver<ToWorker>,
     tx: &Sender<(usize, FromWorker)>,
@@ -718,7 +743,8 @@ fn window_worker(
     // re-raises, so the bug surfaces through the coordinator's join
     // instead of hanging the check.
     let setup = catch_unwind(AssertUnwindSafe(|| {
-        let mut ts = TransitionSystem::build(aig, node_quota).map_err(|e| BddWorkerStats {
+        let mut ts =
+            TransitionSystem::build_with_order(aig, node_quota, order).map_err(|e| BddWorkerStats {
             peak_live_nodes: e.peak_live_nodes,
             allocated: e.total_allocated,
             quota_hit: true,
@@ -872,7 +898,7 @@ fn assign_windows_lpt(costs: &[u64], workers: usize) -> Vec<usize> {
     let mut owner = vec![0usize; costs.len()];
     let mut load = vec![0u64; workers];
     for w in order {
-        let wid = (0..workers).min_by_key(|&i| (load[i], i)).expect("workers >= 1");
+        let wid = (0..workers).min_by_key(|&i| (load[i], i)).expect("workers >= 1"); // lint: allow
         load[wid] += costs[w];
         owner[w] = wid;
     }
@@ -1309,7 +1335,7 @@ mod tests {
             let mut s1 = CheckStats::default();
             let mut budget = Budget::rounds(7);
             let suspended = pobdd_reach_session(
-                &g, 2, kill_workers, 1 << 20, 1000, false, &mut s1, &mut budget, None,
+                &g, 2, kill_workers, 1 << 20, 1000, false, false, &mut s1, &mut budget, None,
             );
             let ck = match suspended {
                 BddEngineOutcome::Suspended(ck) => ck,
@@ -1324,6 +1350,7 @@ mod tests {
                 resume_workers,
                 1 << 20,
                 1000,
+                false,
                 false,
                 &mut s2,
                 &mut Budget::unlimited(),

@@ -28,7 +28,7 @@ use crate::engine::{
 use crate::{
     bdd_engine, pobdd, BadCoiStats, CheckOptions, CheckResult, CheckStats, Trace, Verdict,
 };
-use veridic_aig::analyze::{fold_constants, ternary_sweep, Ternary};
+use veridic_aig::analyze::{fold_constants, ternary_sweep, ternary_sweep_constrained, Ternary};
 use veridic_aig::Aig;
 
 /// Display name of the static pre-analysis stage in event logs and
@@ -154,6 +154,7 @@ impl Engine for BddUmcEngine {
             ctx.opts.max_iterations,
             ctx.opts.image_workers,
             ctx.opts.dynamic_reorder,
+            ctx.opts.static_order,
             ctx.stats,
             ctx.budget,
             resume,
@@ -203,6 +204,7 @@ impl Engine for PobddEngine {
             ctx.opts.bdd_nodes,
             ctx.opts.max_iterations,
             ctx.opts.dynamic_reorder,
+            ctx.opts.static_order,
             ctx.stats,
             ctx.budget,
             resume,
@@ -591,6 +593,31 @@ impl Portfolio {
                 pre_event(stats, EventOutcome::FalsifiedAtDepth(0));
                 return Ok(Verdict::Falsified(full));
             }
+            // Constraint-aware refinement: re-run the sweep with every
+            // constant-true constraint literal *forced* into the
+            // lattice (`ternary_sweep_constrained`). One-sided by
+            // design: forcing only ever strengthens the Proved
+            // direction — a contradiction inside the forced closure, a
+            // bad pinned false under the constraints, or a constraint
+            // pinned false all mean no constrained path reaches the
+            // bad. It is never used to fabricate a counterexample; the
+            // depth-0 falsification above deliberately requires the
+            // *unconstrained* sweep to pin everything, so traces stay
+            // engine-built whenever a constraint is X.
+            if !sub.constraints().is_empty() {
+                let cs = ternary_sweep_constrained(&sub);
+                let vacuous = cs.contradiction
+                    || cs.sweep.lit_value(sub.bads()[0].lit) == Ternary::False
+                    || sub
+                        .constraints()
+                        .iter()
+                        .any(|c| cs.sweep.lit_value(c.lit) == Ternary::False);
+                if vacuous {
+                    stats.preanalysis.vacuous += 1;
+                    pre_event(stats, EventOutcome::Proved);
+                    return Ok(Verdict::Proved { engine: PREANALYSIS });
+                }
+            }
             match fold_constants(&sub, &sweep) {
                 Some(fold) => {
                     if resume.is_none() {
@@ -613,8 +640,8 @@ impl Portfolio {
         let expand_trace = |t: Trace| -> Trace {
             let mut full = vec![vec![false; aig.num_inputs()]; t.inputs.len()];
             for (old_var, new_var) in &coi.input_map {
-                let old_idx = aig.input_index(*old_var).expect("input var");
-                let new_idx = sub.input_index(*new_var).expect("mapped input var");
+                let old_idx = aig.input_index(*old_var).expect("input var"); // lint: allow
+                let new_idx = sub.input_index(*new_var).expect("mapped input var"); // lint: allow
                 for (dst, src) in full.iter_mut().zip(&t.inputs) {
                     dst[old_idx] = src[new_idx];
                 }

@@ -6,7 +6,7 @@
 //! expressions share one id.
 
 use crate::value::Value;
-use std::collections::HashMap;
+use veridic_aig::hash::{FxHashMap, FxHashSet};
 use std::fmt;
 
 /// Identifier of a net within one module.
@@ -107,7 +107,7 @@ pub enum Expr {
 pub struct ExprArena {
     nodes: Vec<Expr>,
     widths: Vec<u32>,
-    dedup: HashMap<Expr, ExprId>,
+    dedup: FxHashMap<Expr, ExprId>,
 }
 
 impl ExprArena {
@@ -186,7 +186,7 @@ impl ExprArena {
             Expr::Const(v) => v.width(),
             Expr::Net(n) => self
                 .net_width(*n)
-                .expect("use ExprArena::net to create net references"),
+                .expect("use ExprArena::net to create net references"), // lint: allow
             Expr::Not(a) => self.w(*a),
             Expr::And(a, b) | Expr::Or(a, b) | Expr::Xor(a, b) => {
                 let (wa, wb) = (self.w(*a), self.w(*b));
@@ -232,10 +232,10 @@ impl ExprArena {
 
     /// Collects the net ids referenced (transitively) by `id`.
     pub fn support(&self, id: ExprId) -> Vec<NetId> {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = FxHashSet::default();
         let mut out = Vec::new();
         let mut stack = vec![id];
-        let mut visited = std::collections::HashSet::new();
+        let mut visited = FxHashSet::default();
         while let Some(x) = stack.pop() {
             if !visited.insert(x) {
                 continue;
@@ -291,7 +291,7 @@ impl ExprArena {
     /// Panics if `nets` returns a value whose width differs from the net
     /// reference's declared width.
     pub fn eval(&self, id: ExprId, nets: &dyn Fn(NetId) -> Value) -> Value {
-        let mut cache: HashMap<ExprId, Value> = HashMap::new();
+        let mut cache: FxHashMap<ExprId, Value> = FxHashMap::default();
         self.eval_cached(id, nets, &mut cache)
     }
 
@@ -299,7 +299,7 @@ impl ExprArena {
         &self,
         id: ExprId,
         nets: &dyn Fn(NetId) -> Value,
-        cache: &mut HashMap<ExprId, Value>,
+        cache: &mut FxHashMap<ExprId, Value>,
     ) -> Value {
         if let Some(v) = cache.get(&id) {
             return v.clone();
@@ -371,7 +371,7 @@ impl ExprArena {
                         Some(lo) => lo.concat(&v),
                     });
                 }
-                acc.expect("empty concat")
+                acc.expect("empty concat") // lint: allow
             }
             Expr::Repeat(n, a) => {
                 let v = self.eval_cached(a, nets, cache);

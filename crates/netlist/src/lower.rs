@@ -9,7 +9,7 @@
 use crate::expr::{Expr, ExprId, NetId};
 use crate::module::Module;
 use crate::validate::ValidateError;
-use std::collections::HashMap;
+use veridic_aig::hash::FxHashMap;
 use veridic_aig::{Aig, LatchId, Lit, Var};
 
 /// Result of lowering a module to an AIG.
@@ -18,11 +18,11 @@ pub struct LoweredAig {
     /// The graph.
     pub aig: Aig,
     /// Literal vector (LSB-first) for every net.
-    pub net_bits: HashMap<NetId, Vec<Lit>>,
+    pub net_bits: FxHashMap<NetId, Vec<Lit>>,
     /// AIG input vars for every input-port bit, `(net, bit) -> var`.
-    pub input_vars: HashMap<(NetId, u32), Var>,
+    pub input_vars: FxHashMap<(NetId, u32), Var>,
     /// Latch ids for every register bit, `(net, bit) -> latch`.
-    pub latch_ids: HashMap<(NetId, u32), LatchId>,
+    pub latch_ids: FxHashMap<(NetId, u32), LatchId>,
 }
 
 impl LoweredAig {
@@ -66,9 +66,9 @@ impl Module {
         let drivers = self.drivers()?;
         let schedule = self.comb_schedule()?;
         let mut aig = Aig::new();
-        let mut net_bits: HashMap<NetId, Vec<Lit>> = HashMap::new();
-        let mut input_vars = HashMap::new();
-        let mut latch_ids = HashMap::new();
+        let mut net_bits: FxHashMap<NetId, Vec<Lit>> = FxHashMap::default();
+        let mut input_vars = FxHashMap::default();
+        let mut latch_ids = FxHashMap::default();
 
         // Inputs first (stable order: port declaration order).
         for p in self.inputs() {
@@ -94,7 +94,7 @@ impl Module {
             net_bits.insert(r.q, bits);
         }
         // Combinational assigns in dependency order.
-        let mut expr_cache: HashMap<ExprId, Vec<Lit>> = HashMap::new();
+        let mut expr_cache: FxHashMap<ExprId, Vec<Lit>> = FxHashMap::default();
         for i in schedule {
             let (net, expr) = self.assigns[i];
             let bits = self.lower_expr(expr, &mut aig, &net_bits, &mut expr_cache);
@@ -126,8 +126,8 @@ impl Module {
         &self,
         id: ExprId,
         aig: &mut Aig,
-        net_bits: &HashMap<NetId, Vec<Lit>>,
-        cache: &mut HashMap<ExprId, Vec<Lit>>,
+        net_bits: &FxHashMap<NetId, Vec<Lit>>,
+        cache: &mut FxHashMap<ExprId, Vec<Lit>>,
     ) -> Vec<Lit> {
         if let Some(bits) = cache.get(&id) {
             return bits.clone();
@@ -273,8 +273,8 @@ impl Module {
         a: ExprId,
         b: ExprId,
         aig: &mut Aig,
-        net_bits: &HashMap<NetId, Vec<Lit>>,
-        cache: &mut HashMap<ExprId, Vec<Lit>>,
+        net_bits: &FxHashMap<NetId, Vec<Lit>>,
+        cache: &mut FxHashMap<ExprId, Vec<Lit>>,
         op: fn(&mut Aig, Lit, Lit) -> Lit,
     ) -> Vec<Lit> {
         let a = self.lower_expr(a, aig, net_bits, cache);

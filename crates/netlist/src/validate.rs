@@ -277,6 +277,54 @@ impl Module {
         report
     }
 
+    /// Enumerates **every** combinational loop among the continuous
+    /// assignments: the strongly-connected components of the assign
+    /// dependency graph with more than one member, plus self-dependent
+    /// assignments. Registers and inputs break loops, exactly as in
+    /// [`Module::comb_schedule`] — but unlike the schedule, which
+    /// rejects the module at the first cycle it meets, this never
+    /// fails, so lint tooling can report all loops of a module that
+    /// deliberately skips [`Module::validate`]. Each loop is the
+    /// sorted, deduplicated list of driven-net names on it; loops are
+    /// ordered by their first name.
+    pub fn comb_loops(&self) -> Vec<Vec<String>> {
+        let mut driver_of: BTreeMap<NetId, usize> = BTreeMap::new();
+        for (i, (net, _)) in self.assigns.iter().enumerate() {
+            driver_of.insert(*net, i);
+        }
+        let succs: Vec<Vec<u32>> = self
+            .assigns
+            .iter()
+            .map(|(_, e)| {
+                let mut s: Vec<u32> = self
+                    .arena
+                    .support(*e)
+                    .into_iter()
+                    .filter_map(|n| driver_of.get(&n).map(|&j| j as u32))
+                    .collect();
+                s.sort_unstable();
+                s.dedup();
+                s
+            })
+            .collect();
+        let sccs = veridic_aig::structure::tarjan_sccs(self.assigns.len(), |v| &succs[v]);
+        let mut loops: Vec<Vec<String>> = sccs
+            .into_iter()
+            .filter(|scc| scc.len() > 1 || succs[scc[0] as usize].contains(&scc[0]))
+            .map(|scc| {
+                let mut names: Vec<String> = scc
+                    .iter()
+                    .map(|&i| self.net(self.assigns[i as usize].0).name.clone())
+                    .collect();
+                names.sort();
+                names.dedup();
+                names
+            })
+            .collect();
+        loops.sort();
+        loops
+    }
+
     /// Returns the indices of `assigns` in dependency order: an assignment
     /// appears after every assignment whose target it reads. Register
     /// outputs and inputs are sources and impose no ordering.
@@ -404,6 +452,54 @@ mod tests {
             m.comb_schedule(),
             Err(ValidateError::CombinationalCycle { .. })
         ));
+    }
+
+    /// The lint walk: every loop is enumerated (the schedule stops at
+    /// one), self-loops count, registers still break cycles, and a
+    /// clean module reports nothing.
+    #[test]
+    fn comb_loops_enumerates_every_cycle() {
+        // Two disjoint loops plus a self-loop plus acyclic logic.
+        let mut m = Module::new("m");
+        let mk = |m: &mut Module, name: &str| m.add_net(name, 1);
+        let a = mk(&mut m, "a");
+        let b = mk(&mut m, "b");
+        let c = mk(&mut m, "c");
+        let d = mk(&mut m, "d");
+        let s = mk(&mut m, "s");
+        let (ea, eb, ec, ed, es) = (m.sig(a), m.sig(b), m.sig(c), m.sig(d), m.sig(s));
+        let na = m.arena.add(Expr::Not(ea));
+        let nb = m.arena.add(Expr::Not(eb));
+        m.assign(b, na); // a -> b
+        m.assign(a, nb); // b -> a   (loop 1: {a, b})
+        let nc = m.arena.add(Expr::Not(ec));
+        let nd = m.arena.add(Expr::Not(ed));
+        m.assign(d, nc); // c -> d
+        m.assign(c, nd); // d -> c   (loop 2: {c, d})
+        let ns = m.arena.add(Expr::Not(es));
+        m.assign(s, ns); // self-loop {s}
+        let y = m.add_port("y", PortDir::Output, 1);
+        let ea2 = m.sig(a);
+        m.assign(y, ea2); // acyclic reader, not on any loop
+        let loops = m.comb_loops();
+        assert_eq!(
+            loops,
+            vec![
+                vec!["a".to_string(), "b".to_string()],
+                vec!["c".to_string(), "d".to_string()],
+                vec!["s".to_string()],
+            ]
+        );
+        // The one-shot schedule still rejects the same module.
+        assert!(matches!(m.comb_schedule(), Err(ValidateError::CombinationalCycle { .. })));
+
+        // A registered feedback path is sequential, not a comb loop.
+        let mut m2 = Module::new("m2");
+        let q = m2.add_net("q", 1);
+        let eq_ = m2.sig(q);
+        let nq = m2.arena.add(Expr::Not(eq_));
+        m2.add_reg(q, nq, Value::from_u64(1, 0));
+        assert!(m2.comb_loops().is_empty());
     }
 
     #[test]

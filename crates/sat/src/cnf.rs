@@ -37,7 +37,7 @@ impl Frame {
         let base = *self
             .map
             .get(&l.var())
-            .expect("AIG node was not encoded in this frame");
+            .expect("AIG node was not encoded in this frame"); // lint: allow
         if l.is_compl() {
             !base
         } else {
@@ -92,7 +92,7 @@ impl<'a> CnfBuilder<'a> {
         }
         // ANDs in topological order.
         for v in aig.and_order() {
-            let (a, b) = aig.and_fanins(v).expect("and_order yields AND nodes");
+            let (a, b) = aig.and_fanins(v).expect("and_order yields AND nodes"); // lint: allow
             let la = frame.lit(a);
             let lb = frame.lit(b);
             let lo = Lit::pos(self.solver.new_var());

@@ -348,7 +348,7 @@ impl Solver {
         let mut index = self.trail.len();
         let mut confl = Some(confl);
         loop {
-            let cref = confl.expect("analysis must have a reason");
+            let cref = confl.expect("analysis must have a reason"); // lint: allow
             self.cla_bump(cref);
             let start = if p.is_some() { 1 } else { 0 };
             let lits: Vec<Lit> = self.clauses[cref].lits[start..].to_vec();
@@ -373,11 +373,11 @@ impl Solver {
                     break;
                 }
             }
-            let pv = p.unwrap().var().0 as usize;
+            let pv = p.unwrap().var().0 as usize; // lint: allow
             self.seen[pv] = false;
             counter -= 1;
             if counter == 0 {
-                learnt[0] = !p.unwrap();
+                learnt[0] = !p.unwrap(); // lint: allow
                 break;
             }
             confl = self.reason[pv];

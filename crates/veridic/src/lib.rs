@@ -61,13 +61,17 @@ pub use veridic_verilog as verilog;
 /// downstream tools.
 pub mod prelude {
     pub use veridic_aig::analyze::{
-        analyze, fold_constants, ternary_sweep, ConstantNet, DesignReport, FoldResult, StuckLatch,
-        SweepResult, Ternary,
+        analyze, fold_constants, ternary_sweep, ternary_sweep_constrained, ConstantNet,
+        ConstrainedSweep, DesignReport, FoldResult, StuckLatch, SweepResult, Ternary,
+    };
+    pub use veridic_aig::structure::{
+        affinity_clusters, force_order, latch_affinity_clusters, Condensation, ForceOrder,
+        LatchGraph,
     };
     pub use veridic_aig::Aig;
     pub use veridic_chipgen::{
-        build_leaf, build_plans, observe_symptom, BugId, Category, Chip, ChipConfig, LeafPlan,
-        PropertyType, Scale, SpecCompliant, SpecialKind,
+        build_leaf, build_order_stress, build_plans, observe_symptom, BugId, Category, Chip,
+        ChipConfig, LeafPlan, PropertyType, Scale, SpecCompliant, SpecialKind,
     };
     pub use veridic_core::checkpoint::{extract, Inventory};
     pub use veridic_core::flow::{
@@ -79,8 +83,8 @@ pub mod prelude {
     };
     pub use veridic_core::partition::{
         cut_at, decomposition_is_acyclic, demo_chain_module, partition_output_integrity,
-        run_partition, run_partition_with_portfolio, run_partition_with_workers,
-        PartitionWorkerStats,
+        run_partition, run_partition_with_affinity, run_partition_with_portfolio,
+        run_partition_with_workers, PartitionWorkerStats,
     };
     pub use veridic_core::stereotype::{
         edetect_vunit, generate_all, integrity_vunit, other_vunit, soundness_vunit,

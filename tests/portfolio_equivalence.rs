@@ -330,6 +330,7 @@ fn monolithic_checkpoint_frontier_is_delta_encoded() {
         10_000,
         1,
         false,
+        false,
         &mut stats,
         &mut Budget::rounds(15),
         None,
@@ -355,6 +356,7 @@ fn monolithic_checkpoint_frontier_is_delta_encoded() {
             1 << 20,
             10_000,
             workers,
+            false,
             false,
             &mut s,
             &mut Budget::unlimited(),
