@@ -293,6 +293,76 @@ impl Aig {
         self.nodes.len()
     }
 
+    /// A stable 64-bit structural fingerprint of the whole design:
+    /// FNV-1a over the node table (inputs, latch next/init functions,
+    /// AND fanins) and every named output/bad/constraint literal,
+    /// in creation order.
+    ///
+    /// Two [`Aig`]s built by replaying the same construction calls hash
+    /// identically across processes and runs (no pointer or
+    /// hash-map-iteration input), which is what persistent checkpoint
+    /// headers bind to: a checkpoint written against one design must
+    /// refuse to resume against another.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x100_0000_01b3;
+        let mut h = OFFSET;
+        let mut byte = |b: u8| {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        };
+        let word = |w: u64, byte: &mut dyn FnMut(u8)| {
+            for b in w.to_le_bytes() {
+                byte(b);
+            }
+        };
+        let lit = |l: Lit, byte: &mut dyn FnMut(u8)| {
+            word(u64::from(l.var().0) << 1 | u64::from(l.is_compl()), byte);
+        };
+        let named = |tag: u8, items: &[NamedLit], byte: &mut dyn FnMut(u8)| {
+            byte(tag);
+            word(items.len() as u64, byte);
+            for n in items {
+                word(n.name.len() as u64, byte);
+                for b in n.name.as_bytes() {
+                    byte(*b);
+                }
+                lit(n.lit, byte);
+            }
+        };
+        byte(b'A');
+        word(self.inputs.len() as u64, &mut byte);
+        for (var, name) in &self.inputs {
+            word(u64::from(var.0), &mut byte);
+            word(name.len() as u64, &mut byte);
+            for b in name.as_bytes() {
+                byte(*b);
+            }
+        }
+        word(self.latches.len() as u64, &mut byte);
+        for l in &self.latches {
+            word(u64::from(l.var.0), &mut byte);
+            lit(l.next, &mut byte);
+            byte(l.init as u8);
+            word(l.name.len() as u64, &mut byte);
+            for b in l.name.as_bytes() {
+                byte(*b);
+            }
+        }
+        word(self.num_ands() as u64, &mut byte);
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let Node::And { a, b } = n {
+                word(i as u64, &mut byte);
+                lit(*a, &mut byte);
+                lit(*b, &mut byte);
+            }
+        }
+        named(b'o', &self.outputs, &mut byte);
+        named(b'b', &self.bads, &mut byte);
+        named(b'c', &self.constraints, &mut byte);
+        h
+    }
+
     /// The latches, in creation order.
     pub fn latches(&self) -> &[Latch] {
         &self.latches

@@ -71,4 +71,4 @@ pub use veridic_aig::hash;
 pub use veridic_aig::hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use manager::{BddManager, NodeId, OutOfNodes};
 pub use reorder::{best_window_order, rebuild_with_order};
-pub use transfer::{DeltaBdd, ExportedBdd};
+pub use transfer::{DeltaBdd, ExportedBdd, TransferFormatError};

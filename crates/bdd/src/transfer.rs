@@ -30,6 +30,7 @@
 
 use crate::hash::FxHashMap;
 use crate::manager::{BddManager, NodeId, OutOfNodes};
+use std::fmt;
 
 /// A reference inside an [`ExportedBdd`]: bit 0 is the complement tag,
 /// the remaining bits select the target — `0` is the shared terminal
@@ -110,6 +111,107 @@ impl ExportedBdd {
     pub fn source_order(&self) -> &[u32] {
         &self.order
     }
+
+    /// The node list as raw `(var, lo, hi)` triples, children first.
+    /// `lo`/`hi` are the wire encoding of the internal references (bit 0
+    /// is the complement tag, `0`/`1` the terminal edges, `k > 0` entry
+    /// `k - 1` of this list) — the representation an external serializer
+    /// ships and feeds back through [`ExportedBdd::from_raw_parts`].
+    pub fn raw_nodes(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+        self.nodes.iter().map(|n| (n.var, n.lo.0, n.hi.0))
+    }
+
+    /// The root reference in the same raw encoding as
+    /// [`ExportedBdd::raw_nodes`] children.
+    pub fn raw_root(&self) -> u32 {
+        self.root.0
+    }
+
+    /// Rebuilds an export from raw parts (the inverse of
+    /// [`ExportedBdd::raw_nodes`] + [`ExportedBdd::raw_root`] +
+    /// [`ExportedBdd::source_order`]), validating the structural
+    /// invariant [`import`] relies on: every reference is a terminal or
+    /// targets an *earlier* list slot, so a single forward pass can
+    /// never index out of bounds. Checked here — not trusted — because
+    /// the raw parts typically arrive from disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TransferFormatError`] naming the offending reference
+    /// when the topology is malformed; a deserializer surfaces it as a
+    /// corrupt-file error instead of panicking mid-import.
+    pub fn from_raw_parts(
+        nodes: Vec<(u32, u32, u32)>,
+        root: u32,
+        order: Vec<u32>,
+    ) -> Result<ExportedBdd, TransferFormatError> {
+        for (k, (_, lo, hi)) in nodes.iter().enumerate() {
+            check_ref(*lo, k, Some(k))?;
+            check_ref(*hi, k, Some(k))?;
+        }
+        check_ref(root, nodes.len(), None)?;
+        let nodes = nodes
+            .into_iter()
+            .map(|(var, lo, hi)| ExportedNode { var, lo: SlotRef(lo), hi: SlotRef(hi) })
+            .collect();
+        Ok(ExportedBdd { nodes, root: SlotRef(root), order })
+    }
+}
+
+/// A structural defect in raw transfer parts fed to
+/// [`ExportedBdd::from_raw_parts`] or [`DeltaBdd::from_raw_parts`]:
+/// a reference that escapes the slot space it is allowed to address.
+/// Deserializers turn this into a typed corrupt-file error rather than
+/// letting a malformed node list panic inside [`import`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransferFormatError {
+    /// The root reference targets a slot outside the node list.
+    BadRootRef {
+        /// The offending raw reference.
+        reference: u32,
+        /// Number of addressable slots.
+        slots: usize,
+    },
+    /// A child reference of node `node` targets a slot at or beyond its
+    /// own position (references must point strictly backwards) or
+    /// outside the combined slot space.
+    BadChildRef {
+        /// List position of the node holding the bad reference.
+        node: usize,
+        /// The offending raw reference.
+        reference: u32,
+        /// Number of slots that reference was allowed to address.
+        slots: usize,
+    },
+}
+
+impl fmt::Display for TransferFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransferFormatError::BadRootRef { reference, slots } => {
+                write!(f, "root reference {reference:#x} escapes {slots} slot(s)")
+            }
+            TransferFormatError::BadChildRef { node, reference, slots } => {
+                write!(f, "node {node}: child reference {reference:#x} escapes {slots} slot(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransferFormatError {}
+
+/// Validates one raw reference against the number of slots it may
+/// address (`limit`); `node` is `Some` for a child edge, `None` for the
+/// root.
+fn check_ref(r: u32, limit: usize, node: Option<usize>) -> Result<(), TransferFormatError> {
+    let ok = r < 2 || ((r >> 1) as usize - 1) < limit;
+    if ok {
+        return Ok(());
+    }
+    Err(match node {
+        Some(node) => TransferFormatError::BadChildRef { node, reference: r, slots: limit },
+        None => TransferFormatError::BadRootRef { reference: r, slots: limit },
+    })
 }
 
 /// Serializes the function `f` of `src` into a manager-independent
@@ -329,6 +431,47 @@ impl DeltaBdd {
     /// exactly this length.
     pub fn baseline_len(&self) -> usize {
         self.baseline_len
+    }
+
+    /// The shipped node list as raw `(var, lo, hi)` triples — same wire
+    /// encoding as [`ExportedBdd::raw_nodes`], except references select
+    /// the *combined* slot space (baseline slots first, then this
+    /// list). Inverse: [`DeltaBdd::from_raw_parts`].
+    pub fn raw_nodes(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+        self.nodes.iter().map(|n| (n.var, n.lo.0, n.hi.0))
+    }
+
+    /// The root reference in the combined-slot-space raw encoding.
+    pub fn raw_root(&self) -> u32 {
+        self.root.0
+    }
+
+    /// Rebuilds a delta from raw parts, validating that every reference
+    /// stays inside the combined slot space and that delta-section
+    /// references point strictly backwards — the invariant
+    /// [`import_delta`] and [`DeltaBdd::rebase`] index by without
+    /// further checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TransferFormatError`] naming the offending reference
+    /// when the topology is malformed.
+    pub fn from_raw_parts(
+        baseline_len: usize,
+        nodes: Vec<(u32, u32, u32)>,
+        root: u32,
+        order: Vec<u32>,
+    ) -> Result<DeltaBdd, TransferFormatError> {
+        for (k, (_, lo, hi)) in nodes.iter().enumerate() {
+            check_ref(*lo, baseline_len + k, Some(k))?;
+            check_ref(*hi, baseline_len + k, Some(k))?;
+        }
+        check_ref(root, baseline_len + nodes.len(), None)?;
+        let nodes = nodes
+            .into_iter()
+            .map(|(var, lo, hi)| ExportedNode { var, lo: SlotRef(lo), hi: SlotRef(hi) })
+            .collect();
+        Ok(DeltaBdd { baseline_len, nodes, root: SlotRef(root), order })
     }
 
     /// Splices the delta onto its baseline and compacts the result to

@@ -31,12 +31,13 @@
 use std::path::{Path, PathBuf};
 
 /// Crates standardized on FxHash (PR 2; `core` and `netlist` joined in
-/// PR 9).
-const FX_CRATES: [&str; 6] = ["aig", "bdd", "mc", "sat", "core", "netlist"];
+/// PR 9, `campaign` in PR 10).
+const FX_CRATES: [&str; 7] = ["aig", "bdd", "mc", "sat", "core", "netlist", "campaign"];
 
 /// Crates whose library code may not panic via bare `unwrap`/`expect`
-/// (rule 3). Same set as [`FX_CRATES`]: the engine stack.
-const NO_PANIC_CRATES: [&str; 6] = FX_CRATES;
+/// (rule 3). Same set as [`FX_CRATES`]: the engine stack plus the
+/// campaign service, where a panic kills a whole worker shard.
+const NO_PANIC_CRATES: [&str; 7] = FX_CRATES;
 
 /// Debug-scaffolding macros banned from committed code. Assembled at
 /// runtime so this file does not flag itself.

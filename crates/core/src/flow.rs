@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 use veridic_chipgen::{Category, Chip, PropertyType};
-use veridic_mc::{CheckOptions, CheckStats, Portfolio, PreanalysisStats, Verdict};
+use veridic_mc::{CheckOptions, CheckResult, CheckStats, Portfolio, PreanalysisStats, Verdict};
 use veridic_psl::CompiledVUnit;
 
 /// Campaign configuration.
@@ -112,16 +112,49 @@ pub fn prepare_module(
 /// same order a serial campaign would emit it.
 type ModuleOutput = (Vec<PropertyRecord>, Vec<(String, String)>);
 
-/// Prepares and checks every stereotype property of one leaf module.
-/// The portfolio is shared by reference across campaign workers — it
-/// owns no per-run state, only the engine policy.
-fn run_module(
+/// One fully-lowered property check, ready for any engine scheduler:
+/// the vunit's multi-bad AIG plus the index of the assert under check.
+///
+/// This is the unit of work the campaign hands out — to its own
+/// threaded executor and to external shard processes (the campaign
+/// daemon re-derives the same list in each worker and picks by global
+/// index). The AIG is the *whole unit's* lowering (every sibling
+/// assert's bad is present, constraints included), exactly what the
+/// in-process campaign passes to `Portfolio::check_bad`, so a check
+/// through a [`PreparedProperty`] produces byte-identical verdicts,
+/// stats and event logs to one through [`run_campaign`].
+#[derive(Clone, Debug)]
+pub struct PreparedProperty {
+    /// Leaf module name.
+    pub module: String,
+    /// Module category.
+    pub category: Category,
+    /// Vunit name.
+    pub vunit: String,
+    /// Assertion label.
+    pub label: String,
+    /// Property type (P0..P3).
+    pub ptype: PropertyType,
+    /// The unit's lowered AIG: one bad per sibling assert, assumes as
+    /// invariant constraints.
+    pub aig: veridic_aig::Aig,
+    /// Index of this property's bad in `aig` (its position among the
+    /// unit's asserts).
+    pub bad_index: usize,
+}
+
+/// Enumerates every checkable property of one leaf module, in the exact
+/// order [`run_campaign`] checks them, together with the module's
+/// preparation errors (failed Verifiable transform or AIG lowering).
+///
+/// Deterministic: two processes enumerating the same generated chip get
+/// identical lists — the contract that lets out-of-process campaign
+/// workers address properties by index.
+pub fn module_properties(
     chip: &Chip,
     mi: &veridic_chipgen::ModuleInfo,
-    portfolio: &Portfolio,
-    check: &CheckOptions,
-) -> ModuleOutput {
-    let mut records = Vec::new();
+) -> (Vec<PreparedProperty>, Vec<(String, String)>) {
+    let mut props = Vec::new();
     let mut errors = Vec::new();
     let m = chip
         .design()
@@ -131,7 +164,7 @@ fn run_module(
         Ok(x) => x,
         Err(e) => {
             errors.push((mi.name().to_string(), e.to_string()));
-            return (records, errors);
+            return (props, errors);
         }
     };
     for (gen, compiled) in units {
@@ -150,21 +183,76 @@ fn run_module(
             aig.add_constraint(label.clone(), !lowered.bit(*net, 0));
         }
         for (idx, (label, _)) in compiled.asserts.iter().enumerate() {
-            let t0 = Instant::now();
-            let mut stats = CheckStats::default();
-            let verdict = portfolio.check_bad(&aig, idx, check, &mut stats);
-            records.push(PropertyRecord {
+            props.push(PreparedProperty {
                 module: mi.name().to_string(),
                 category: mi.plan().category,
                 vunit: gen.unit.name.clone(),
                 label: label.clone(),
                 ptype: gen.ptype,
-                verdict,
-                stats,
-                duration: t0.elapsed(),
+                aig: aig.clone(),
+                bad_index: idx,
             });
         }
     }
+    (props, errors)
+}
+
+/// Checks one prepared property with an explicit portfolio, producing
+/// the same [`PropertyRecord`] the in-process campaign would emit for
+/// it (wall-clock aside).
+pub fn check_property(
+    prop: &PreparedProperty,
+    portfolio: &Portfolio,
+    check: &CheckOptions,
+) -> PropertyRecord {
+    let t0 = Instant::now();
+    let mut stats = CheckStats::default();
+    let verdict = portfolio.check_bad(&prop.aig, prop.bad_index, check, &mut stats);
+    PropertyRecord {
+        module: prop.module.clone(),
+        category: prop.category,
+        vunit: prop.vunit.clone(),
+        label: prop.label.clone(),
+        ptype: prop.ptype,
+        verdict,
+        stats,
+        duration: t0.elapsed(),
+    }
+}
+
+/// Assembles the [`PropertyRecord`] for a check that was driven
+/// externally — the out-of-process campaign workers run properties in
+/// budget slices (with checkpoints persisted between them) and hand the
+/// final [`CheckResult`] here, so the record shape stays defined in one
+/// place regardless of who scheduled the engines.
+pub fn record_from_result(
+    prop: &PreparedProperty,
+    result: CheckResult,
+    duration: Duration,
+) -> PropertyRecord {
+    PropertyRecord {
+        module: prop.module.clone(),
+        category: prop.category,
+        vunit: prop.vunit.clone(),
+        label: prop.label.clone(),
+        ptype: prop.ptype,
+        verdict: result.verdict,
+        stats: result.stats,
+        duration,
+    }
+}
+
+/// Prepares and checks every stereotype property of one leaf module.
+/// The portfolio is shared by reference across campaign workers — it
+/// owns no per-run state, only the engine policy.
+fn run_module(
+    chip: &Chip,
+    mi: &veridic_chipgen::ModuleInfo,
+    portfolio: &Portfolio,
+    check: &CheckOptions,
+) -> ModuleOutput {
+    let (props, errors) = module_properties(chip, mi);
+    let records = props.iter().map(|p| check_property(p, portfolio, check)).collect();
     (records, errors)
 }
 
@@ -414,6 +502,135 @@ impl CampaignReport {
         }
         self.records.iter().filter(|r| r.verdict.is_proved()).count() as f64
             / self.records.len() as f64
+    }
+
+    /// One-line JSON summary of the whole campaign, with a **stable
+    /// field order** (hand-emitted, no map iteration), so two runs of
+    /// the same campaign differ only in `total_time_ms`. This is the
+    /// terminal line of the campaign daemon's NDJSON results log and
+    /// the machine-readable footer the table bins print — it carries
+    /// the pre-analysis aggregates ([`CampaignReport::preanalysis_totals`],
+    /// [`CampaignReport::vacuous_count`]) that previously existed only
+    /// as ad-hoc printed text.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let pre = self.preanalysis_totals();
+        let _ = write!(
+            s,
+            "{{\"type\":\"summary\",\"properties\":{},\"errors\":{},\"proved\":{},\
+             \"falsified\":{},\"resource_out\":{},\"proved_ratio\":{:.6},\
+             \"peak_bdd_nodes\":{},\"total_bdd_allocated\":{},\"quota_hits\":{},\
+             \"peak_worker_bdd_nodes\":{},\"max_pobdd_workers\":{},\
+             \"preanalysis_totals\":{{\"bads_analyzed\":{},\"stuck_latches\":{},\
+             \"folded_ands\":{},\"vacuous\":{}}},\"vacuous_count\":{},\
+             \"total_time_ms\":{}}}",
+            self.records.len(),
+            self.errors.len(),
+            self.records.iter().filter(|r| r.verdict.is_proved()).count(),
+            self.failures().len(),
+            self.resource_outs().len(),
+            self.proved_ratio(),
+            self.peak_bdd_nodes(),
+            self.total_bdd_allocated(),
+            self.quota_hit_count(),
+            self.peak_worker_bdd_nodes(),
+            self.max_pobdd_workers(),
+            pre.bads_analyzed,
+            pre.stuck_latches,
+            pre.folded_ands,
+            pre.vacuous,
+            self.vacuous_count(),
+            self.total_time.as_millis(),
+        );
+        s
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl PropertyRecord {
+    /// One-line JSON rendering of this record, with a **stable field
+    /// order** (hand-emitted): everything deterministic first, the
+    /// wall-clock `duration_ms` last, so two runs of the same check
+    /// produce lines that differ only in their final field. One such
+    /// line per finished property is the body of the campaign daemon's
+    /// NDJSON results log.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"type\":\"property\",\"module\":\"{}\",\"category\":\"{}\",\
+             \"vunit\":\"{}\",\"label\":\"{}\",\"ptype\":\"{}\",\"verdict\":",
+            json_escape(&self.module),
+            self.category,
+            json_escape(&self.vunit),
+            json_escape(&self.label),
+            self.ptype,
+        );
+        match &self.verdict {
+            Verdict::Proved { engine } => {
+                let _ = write!(s, "{{\"status\":\"proved\",\"engine\":\"{}\"}}", json_escape(engine));
+            }
+            Verdict::Falsified(trace) => {
+                let _ = write!(
+                    s,
+                    "{{\"status\":\"falsified\",\"depth\":{},\"bad_index\":{}}}",
+                    trace.inputs.len(),
+                    trace.bad_index,
+                );
+            }
+            Verdict::ResourceOut { reason } => {
+                let _ = write!(
+                    s,
+                    "{{\"status\":\"resource_out\",\"reason\":\"{}\"}}",
+                    json_escape(reason)
+                );
+            }
+        }
+        let st = &self.stats;
+        let _ = write!(
+            s,
+            ",\"stats\":{{\"engines\":[{}],\"coi_latches\":{},\"coi_ands\":{},\
+             \"bdd_nodes\":{},\"bdd_allocated\":{},\"bdd_quota_hits\":{},\
+             \"sat_conflicts\":{},\"iterations\":{},\
+             \"preanalysis\":{{\"bads_analyzed\":{},\"stuck_latches\":{},\
+             \"folded_ands\":{},\"vacuous\":{}}}}},\"duration_ms\":{}}}",
+            st.events
+                .iter()
+                .map(|e| format!("\"{}\"", json_escape(&e.render())))
+                .collect::<Vec<_>>()
+                .join(","),
+            st.coi_latches,
+            st.coi_ands,
+            st.bdd_nodes,
+            st.bdd_allocated,
+            st.bdd_quota_hits,
+            st.sat_conflicts,
+            st.iterations,
+            st.preanalysis.bads_analyzed,
+            st.preanalysis.stuck_latches,
+            st.preanalysis.folded_ands,
+            st.preanalysis.vacuous,
+            self.duration.as_millis(),
+        );
+        s
     }
 }
 

@@ -50,6 +50,22 @@ impl EngineId {
             EngineId::Custom(name) => name,
         }
     }
+
+    /// The inverse of [`EngineId::as_str`] for the built-in engines
+    /// (plus the [`crate::PREANALYSIS`] pseudo-engine); `None` for
+    /// anything else. Deserializers use this to rebuild an `EngineId`
+    /// from a persisted name without leaking a fresh `'static` string
+    /// for the common cases.
+    pub fn from_name(name: &str) -> Option<EngineId> {
+        match name {
+            "bmc" => Some(EngineId::Bmc),
+            "induction" => Some(EngineId::Induction),
+            "bdd-umc" => Some(EngineId::BddUmc),
+            "pobdd-umc" => Some(EngineId::PobddUmc),
+            crate::PREANALYSIS => Some(EngineId::Custom(crate::PREANALYSIS)),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for EngineId {

@@ -142,6 +142,43 @@ impl CheckOptions {
             .pobdd_window_vars(0)
             .build()
     }
+
+    /// A stable 64-bit fingerprint of every budget and selection knob
+    /// (FNV-1a over the fields in declaration order), identical across
+    /// processes and runs.
+    ///
+    /// Persistent checkpoint headers bind to this: a checkpoint taken
+    /// under one set of options must refuse to resume under another,
+    /// because budgets and engine selection shape the run's event log
+    /// and round boundaries, not just its speed. Any new field changes
+    /// the fingerprint of configurations that set it away from the old
+    /// behavior — which is exactly when an old checkpoint stops being
+    /// comparable.
+    pub fn fingerprint(&self) -> u64 {
+        const PRIME: u64 = 0x100_0000_01b3;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut word = |w: u64| {
+            for b in w.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        word(self.bmc_depth as u64);
+        word(self.sat_conflicts);
+        word(self.induction_depth as u64);
+        word(u64::from(self.simple_path));
+        word(self.bdd_nodes as u64);
+        word(self.max_iterations as u64);
+        word(u64::from(self.pobdd_window_vars));
+        word(self.pobdd_workers as u64);
+        word(self.image_workers as u64);
+        word(u64::from(self.dynamic_reorder));
+        word(u64::from(self.static_order));
+        word(u64::from(self.bdd_only));
+        word(u64::from(self.sat_only));
+        word(u64::from(self.preanalysis));
+        h
+    }
 }
 
 /// Builder for [`CheckOptions`]; see [`CheckOptions::builder`].

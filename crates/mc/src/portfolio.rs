@@ -436,7 +436,84 @@ impl Portfolio {
         checkpoint: RunCheckpoint,
         budget: &mut Budget,
     ) -> PortfolioOutcome {
+        self.validate_checkpoint(aig, opts, &checkpoint);
         let RunCheckpoint { bad_index, slot, state, stats, reasons } = checkpoint;
+        self.drive(aig, opts, budget, stats, bad_index, Some((slot, state, reasons)))
+    }
+
+    /// Checks a **single** bad under a cooperative budget: the
+    /// suspendable counterpart of [`Portfolio::check_bad`], and the
+    /// primitive out-of-process campaign workers are built on — each
+    /// property is one bad of a multi-bad unit AIG, checked in budget
+    /// slices with the [`RunCheckpoint`] persisted between slices.
+    ///
+    /// `stats` seeds the run's statistics (normally
+    /// `CheckStats::default()`); on suspension the accumulated stats
+    /// travel inside the checkpoint, exactly as in
+    /// [`Portfolio::run_with_budget`]. A run driven to completion
+    /// through any sequence of
+    /// [`Portfolio::resume_bad_with_budget`] slices reaches the same
+    /// verdict as an un-sliced [`Portfolio::check_bad`] (BDD state
+    /// resumes exactly; see [`Portfolio::resume`] for the SAT-cursor
+    /// caveat), with suspension events marking the slice boundaries.
+    ///
+    /// # Panics
+    ///
+    /// See [`Portfolio::check`].
+    pub fn check_bad_with_budget(
+        &self,
+        aig: &Aig,
+        bad_index: usize,
+        opts: &CheckOptions,
+        stats: CheckStats,
+        budget: &mut Budget,
+    ) -> PortfolioOutcome {
+        let mut stats = stats;
+        match self.check_bad_inner(aig, bad_index, opts, &mut stats, budget, None) {
+            Ok(verdict) => PortfolioOutcome::Done(CheckResult { verdict, stats }),
+            Err((slot, state, reasons)) => {
+                PortfolioOutcome::Suspended(RunCheckpoint { bad_index, slot, state, stats, reasons })
+            }
+        }
+    }
+
+    /// Continues a suspended **single-bad** run for one more budget
+    /// slice. Unlike [`Portfolio::resume_with_budget`] it stops at the
+    /// checkpoint's bad: a conclusion is returned as `Done` without
+    /// rolling on to the AIG's later bads — the out-of-process campaign
+    /// checks every property as its own single-bad run.
+    ///
+    /// # Panics
+    ///
+    /// See [`Portfolio::resume`] (same checkpoint-compatibility
+    /// validation).
+    pub fn resume_bad_with_budget(
+        &self,
+        aig: &Aig,
+        opts: &CheckOptions,
+        checkpoint: RunCheckpoint,
+        budget: &mut Budget,
+    ) -> PortfolioOutcome {
+        self.validate_checkpoint(aig, opts, &checkpoint);
+        let RunCheckpoint { bad_index, slot, state, stats, reasons } = checkpoint;
+        let mut stats = stats;
+        match self.check_bad_inner(aig, bad_index, opts, &mut stats, budget, Some((slot, state, reasons)))
+        {
+            Ok(verdict) => PortfolioOutcome::Done(CheckResult { verdict, stats }),
+            Err((slot, state, reasons)) => {
+                PortfolioOutcome::Suspended(RunCheckpoint { bad_index, slot, state, stats, reasons })
+            }
+        }
+    }
+
+    /// The resume-compatibility guard shared by every resume entry
+    /// point: a checkpoint must name a slot this portfolio has, a bad
+    /// the AIG has, an engine state the named slot can consume, and a
+    /// slot still enabled under the options — all the signs of a
+    /// checkpoint resumed against the wrong run, where silently
+    /// continuing would produce wrong verdicts.
+    fn validate_checkpoint(&self, aig: &Aig, opts: &CheckOptions, checkpoint: &RunCheckpoint) {
+        let (slot, bad_index, state) = (checkpoint.slot, checkpoint.bad_index, &checkpoint.state);
         assert!(slot < self.slots.len(), "checkpoint slot {slot} out of range");
         assert!(
             bad_index < aig.bads().len(),
@@ -445,7 +522,7 @@ impl Portfolio {
             aig.bads().len()
         );
         let slot_id = self.slots[slot].engine.id();
-        let compatible = match (&state, slot_id) {
+        let compatible = match (state, slot_id) {
             (EngineCheckpoint::Bmc { .. }, EngineId::Bmc) => true,
             (EngineCheckpoint::Induction { .. }, EngineId::Induction) => true,
             (EngineCheckpoint::Reach(_), EngineId::BddUmc | EngineId::PobddUmc) => true,
@@ -468,7 +545,6 @@ impl Portfolio {
             "checkpoint slot {slot} ({slot_id}) is disabled under these options — \
              resume must be given the options the run was suspended under"
         );
-        self.drive(aig, opts, budget, stats, bad_index, Some((slot, state, reasons)))
     }
 
     /// The multi-bad loop shared by fresh and resumed runs.

@@ -14,6 +14,7 @@
 //! | Baseline | [`sim`] | cycle simulator + constrained-random stimulus |
 //! | Evaluation | [`chipgen`] | the synthetic server chip (Table 2 census, 7 bugs) |
 //! | Methodology | [`core`] | Verifiable RTL, stereotype vunits, partitioning, campaign |
+//! | Service | [`campaign`] | checkpoints, crash-recoverable daemon, adaptive scheduler |
 //!
 //! ## Quickstart
 //!
@@ -48,6 +49,7 @@
 
 pub use veridic_aig as aig;
 pub use veridic_bdd as bdd;
+pub use veridic_campaign as campaign;
 pub use veridic_chipgen as chipgen;
 pub use veridic_core as core;
 pub use veridic_mc as mc;
@@ -69,6 +71,10 @@ pub mod prelude {
         LatchGraph,
     };
     pub use veridic_aig::Aig;
+    pub use veridic_campaign::{
+        maybe_run_worker, AdaptiveScheduler, CampaignDir, CampaignSpec, CheckpointFile, CodecError,
+        DaemonError, JobState, PersistedState, RunOutcome, StatusSummary,
+    };
     pub use veridic_chipgen::{
         build_leaf, build_order_stress, build_plans, observe_symptom, BugId, Category, Chip,
         ChipConfig, LeafPlan, PropertyType, Scale, SpecCompliant, SpecialKind,
